@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` file regenerates one table/figure of the paper at
+the quick (tiny) scale so the whole harness completes in minutes.  The
+expensive offline phase (dataset generation, mining, matching) is
+computed once per session and shared; benchmarks then measure the
+experiment-specific computation.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK_CONFIG, OfflineRunner
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    return QUICK_CONFIG
+
+
+@pytest.fixture(scope="session")
+def runner(quick_config) -> OfflineRunner:
+    """Session-wide offline runner: mining/matching run once, then cached."""
+    shared = OfflineRunner(quick_config)
+    # warm both datasets so individual benchmarks measure their own work
+    shared.offline("linkedin")
+    shared.offline("facebook")
+    return shared

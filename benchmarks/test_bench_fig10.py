@@ -1,0 +1,18 @@
+"""Bench for Fig. 10: candidate heuristic (CH) vs reversed order (RCH).
+
+Regenerates the sweep and checks the shape: averaged over the panels and
+|K| points, CH accuracy is at least RCH accuracy (the heuristic ordering
+is meaningful).
+"""
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10_rows(benchmark, quick_config, runner):
+    rows = benchmark(fig10.run, quick_config, runner)
+    assert rows
+    ch = [row["CH NDCG"] for row in rows]
+    rch = [row["RCH NDCG"] for row in rows]
+    assert sum(ch) / len(ch) >= sum(rch) / len(rch) - 1e-9
+    # CH strictly wins somewhere (at tiny scale some panels saturate)
+    assert any(c > r for c, r in zip(ch, rch)) or ch == rch

@@ -1,0 +1,60 @@
+"""Bench for Fig. 11: per-engine matching time.
+
+This is the harness's only *true* pytest-benchmark comparison: each of
+the five engines is benchmarked on the same workload (every catalog
+metagraph of the largest size on the tiny LinkedIn graph), so
+``--benchmark-only`` output reproduces the Fig. 11 bar group directly —
+compare the five ``test_bench_engine[...]`` rows.
+"""
+
+import pytest
+
+from repro.experiments import fig11
+from repro.matching import ALL_ENGINES
+from repro.matching.base import deduplicate_instances
+
+ENGINES = ("SymISO", "SymISO-R", "BoostISO", "TurboISO", "QuickSI")
+
+
+@pytest.fixture(scope="module")
+def workload(runner):
+    phase = runner.offline("linkedin")
+    largest = max(m.size for m in phase.catalog)
+    metagraphs = [m for m in phase.catalog if m.size == largest]
+    return phase.dataset.graph, metagraphs
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_bench_engine(benchmark, workload, engine_name):
+    graph, metagraphs = workload
+    engine = ALL_ENGINES[engine_name]()
+
+    def match_all():
+        total = 0
+        for metagraph in metagraphs:
+            total += sum(
+                1
+                for _ in deduplicate_instances(
+                    engine.find_embeddings(graph, metagraph)
+                )
+            )
+        return total
+
+    total = benchmark(match_all)
+    assert total >= 0
+
+
+def test_bench_fig11_rows(benchmark, quick_config, runner):
+    rows = benchmark(fig11.run, quick_config, runner)
+    assert rows
+    for row in rows:
+        assert row["engines agree"], row
+    # shape: at the largest pattern size, SymISO beats the non-symmetric
+    # engines (the paper's 52% average gap grows with |V_M|)
+    largest = max(row["|V_M|"] for row in rows)
+    for row in rows:
+        if row["|V_M|"] == largest:
+            baselines = min(
+                row["BoostISO (ms)"], row["TurboISO (ms)"], row["QuickSI (ms)"]
+            )
+            assert row["SymISO (ms)"] <= baselines * 1.15, row

@@ -1,0 +1,26 @@
+"""Bench for Fig. 4: learning the full weight vector and its sparsity.
+
+The regenerated artefact is the ranked-weight curve; the shape to hold
+is a long tail (few large weights, most below 0.1).
+"""
+
+import numpy as np
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4_rows(benchmark, quick_config, runner):
+    rows = benchmark(fig4.run, quick_config, runner)
+    assert len(rows) == 4  # four (dataset, class) combinations
+    for row in rows:
+        # the long tail: weights below 0.1 outnumber weights above 0.9
+        assert row["#w<0.1"] >= row["#w>0.9"]
+        assert row["#w>0.5"] >= 1  # at least one characteristic metagraph
+
+
+def test_bench_fig4_single_class_training(benchmark, quick_config, runner):
+    weights = benchmark(
+        fig4.train_full_weights, runner, "linkedin", "college", 200
+    )
+    ranked = np.sort(weights)[::-1]
+    assert ranked[0] > ranked[-1]  # non-degenerate

@@ -1,0 +1,28 @@
+"""Bench for Fig. 6-7: the five-algorithm accuracy comparison.
+
+Regenerates one panel (linkedin/college) per benchmark round and checks
+the headline shape: MGP is at least as accurate as every baseline at the
+largest |Omega|, in both NDCG (Fig. 6) and MAP (Fig. 7).
+"""
+
+from repro.experiments import fig6_7
+
+
+def test_bench_fig6_7_panel(benchmark, quick_config, runner):
+    ndcg, map_ = benchmark(fig6_7.run_panel, runner, "linkedin", "college")
+
+    assert set(ndcg) == set(fig6_7.ALGORITHMS)
+    largest = max(x for x, _y in ndcg["MGP"])
+
+    def at_largest(series):
+        return {x: y for x, y in series}[largest]
+
+    mgp_ndcg = at_largest(ndcg["MGP"])
+    mgp_map = at_largest(map_["MGP"])
+    assert 0.0 < mgp_ndcg <= 1.0
+    # MGP beats the unsupervised control decisively (paper Fig. 6)
+    assert mgp_ndcg > at_largest(ndcg["MGP-U"])
+    assert mgp_map > at_largest(map_["MGP-U"])
+    # and is within noise of or above every supervised baseline
+    for name in ("MPP", "MGP-B", "SRW"):
+        assert mgp_ndcg >= at_largest(ndcg[name]) - 0.05, name

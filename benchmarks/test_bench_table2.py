@@ -1,0 +1,34 @@
+"""Bench for Table II: dataset statistics and the full offline subproblem 1.
+
+Two benchmarks: regenerating the Table II rows from cached artefacts,
+and the end-to-end mining pipeline (generate + mine + filter) that
+produces the #Metagraphs column.
+"""
+
+from repro.datasets import load_dataset
+from repro.experiments import table2
+from repro.mining import MinerConfig, mine_catalog
+
+
+def test_bench_table2_rows(benchmark, quick_config, runner):
+    rows = benchmark(table2.run, quick_config, runner)
+    assert len(rows) == 2
+    assert {row["dataset"] for row in rows} == {"linkedin", "facebook"}
+    for row in rows:
+        assert row["#Metagraphs"] > 0
+        assert row["#Metapaths"] > 0
+
+
+def test_bench_mining_pipeline(benchmark):
+    dataset = load_dataset("linkedin", scale="tiny")
+
+    def mine():
+        return mine_catalog(
+            dataset.graph, MinerConfig(max_nodes=4, min_support=3)
+        )
+
+    catalog = benchmark(mine)
+    assert len(catalog) > 0
+    # Table II shape: only 2-3% of metagraphs are metapaths in the paper;
+    # at tiny scale the ratio is larger but paths must be a minority
+    assert len(catalog.metapath_ids()) < len(catalog)

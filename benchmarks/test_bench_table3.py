@@ -1,0 +1,45 @@
+"""Bench for Table III: time costs of the offline/online subproblems.
+
+The shape to reproduce: matching dominates mining in the offline phase,
+and online testing is orders of magnitude below both.
+"""
+
+from repro.experiments import table3
+from repro.experiments.common import splits_for, triplets_for_split
+from repro.learning.model import ProximityModel
+
+
+def test_bench_table3_rows(benchmark, quick_config, runner):
+    rows = benchmark(table3.run, quick_config, runner)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["Matching (s)"] >= 0
+        assert float(row["Testing per query (s)"]) < 1.0
+
+
+def test_bench_online_query(benchmark, quick_config, runner):
+    """Online phase: one proximity query against precomputed vectors."""
+    phase = runner.offline("linkedin")
+    dataset = phase.dataset
+    class_name = dataset.classes[0]
+    split = splits_for(dataset, class_name, 1, 0)[0]
+    triplets = triplets_for_split(dataset, class_name, split, 100, 0)
+    weights = runner.trainer().train(triplets, phase.vectors)
+    model = ProximityModel(weights, phase.vectors)
+    query = split.test[0]
+
+    ranking = benchmark(model.rank, query, dataset.universe, 10)
+    assert len(ranking) == 10
+
+
+def test_bench_training_1000_examples(benchmark, quick_config, runner):
+    """Offline training subproblem with the paper's 1000 examples."""
+    phase = runner.offline("linkedin")
+    dataset = phase.dataset
+    class_name = dataset.classes[0]
+    split = splits_for(dataset, class_name, 1, 0)[0]
+    triplets = triplets_for_split(dataset, class_name, split, 1000, 0)
+    trainer = runner.trainer()
+
+    weights = benchmark(trainer.train, triplets, phase.vectors)
+    assert weights.max() > 0

@@ -1,0 +1,84 @@
+"""Circle-based friend suggestion (the paper's first motivating scenario).
+
+"Who were my classmates? Who share the same passion as I do?"  Each
+circle is a semantic class.  This example runs the complete pipeline of
+Fig. 3 on the LinkedIn-like dataset:
+
+offline   1. mine the metagraph set M (GraMi-style miner),
+          2. dual-stage training: match metapath seeds, learn seed
+             weights, pick candidates by the heuristic H (Eq. 7), match
+             only those, retrain (Alg. 1),
+online    3. answer friend-suggestion queries for the learned circle.
+
+Run:  python examples/friend_circles.py
+"""
+
+import time
+
+from repro.datasets import load_dataset
+from repro.eval.harness import evaluate_ranker, model_ranker
+from repro.eval.splits import split_queries
+from repro.learning.dual_stage import dual_stage_train
+from repro.learning.examples import generate_triplets
+from repro.learning.model import ProximityModel
+from repro.learning.trainer import Trainer, TrainerConfig
+from repro.mining import MinerConfig, mine_catalog
+
+
+def main() -> None:
+    dataset = load_dataset("linkedin", scale="tiny")
+    print(f"Dataset: {dataset.graph}")
+    circle = "college"
+    labels = dataset.class_labels(circle)
+
+    # ---- offline: mine the metagraph set -----------------------------
+    start = time.perf_counter()
+    catalog = mine_catalog(dataset.graph, MinerConfig(max_nodes=4, min_support=3))
+    print(
+        f"Mined {len(catalog)} metagraphs "
+        f"({len(catalog.metapath_ids())} metapaths) "
+        f"in {time.perf_counter() - start:.1f}s"
+    )
+
+    # ---- offline: dual-stage training for the 'college' circle -------
+    split = split_queries(dataset.queries(circle), 0.2, num_splits=1, seed=0)[0]
+    triplets = generate_triplets(
+        split.train, labels, dataset.universe, num_examples=200, seed=0
+    )
+    trainer = Trainer(TrainerConfig(restarts=3, max_iterations=400, seed=0))
+    result = dual_stage_train(
+        dataset.graph, catalog, triplets, num_candidates=5, trainer=trainer
+    )
+    print(
+        f"Dual stage matched {len(result.matched_ids)}/{len(catalog)} "
+        f"metagraphs (seed {result.seed_match_seconds:.2f}s + candidate "
+        f"{result.candidate_match_seconds:.2f}s matching)"
+    )
+    model = ProximityModel(result.weights, result.vectors, name=circle)
+    print("Characteristic metagraphs of the circle:")
+    from repro.metagraph.describe import describe_weights
+
+    for line in describe_weights(catalog, result.weights, k=3):
+        print(f"  {line}")
+
+    # ---- online: suggest friends for the circle ----------------------
+    print(f"\nSuggestions for circle {circle!r}:")
+    for query in split.test[:5]:
+        suggestions = model.rank(query, k=3)
+        truth = labels.get(query, frozenset())
+        shown = ", ".join(
+            f"{node}{'*' if node in truth else ''}" for node, _s in suggestions
+        )
+        print(f"  {query}: {shown}   (* = labelled {circle})")
+
+    quality = evaluate_ranker(
+        model_ranker(model, dataset.universe), split.test, labels, k=10
+    )
+    print(
+        f"\nTest quality over {quality.num_queries} queries: "
+        f"NDCG@10={quality.ndcg:.3f}  MAP@10={quality.map:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Offline/online separation as a deployable service (Fig. 3's two phases).
+
+The paper's framework splits into an expensive offline phase (mine,
+match, index, train — done once) and a millisecond online phase (rank
+any query against the precomputed artefacts).  This example shows the
+persistence workflow a production deployment would use:
+
+1. *build job*: run the offline phase and save the artefacts
+   (catalog JSON, vector-store JSON, per-class weight JSON);
+2. *service*: load the artefacts and answer queries with explanations
+   (Fig. 1(b)'s "result with explanation" column).
+
+Run:  python examples/search_service.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.datasets import load_dataset
+from repro.eval.splits import split_queries
+from repro.index.vectors import MetagraphVectors, build_vectors
+from repro.learning.examples import generate_triplets
+from repro.learning.model import ProximityModel
+from repro.learning.trainer import Trainer, TrainerConfig
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.mining import MinerConfig, mine_catalog
+
+
+def build_job(artefact_dir: Path) -> None:
+    """The offline phase: mine -> match -> train -> persist."""
+    dataset = load_dataset("facebook", scale="tiny")
+    print(f"[build] {dataset.graph}")
+    catalog = mine_catalog(dataset.graph, MinerConfig(max_nodes=4, min_support=3))
+    vectors, _index = build_vectors(dataset.graph, catalog)
+    catalog.save(artefact_dir / "catalog.json")
+    vectors.save(artefact_dir / "vectors.json")
+    trainer = Trainer(TrainerConfig(restarts=3, max_iterations=400, seed=0))
+    for class_name in dataset.classes:
+        labels = dataset.class_labels(class_name)
+        split = split_queries(dataset.queries(class_name), 0.2, 1, seed=0)[0]
+        triplets = generate_triplets(
+            split.train, labels, dataset.universe, num_examples=200, seed=0
+        )
+        weights = trainer.train(triplets, vectors)
+        model = ProximityModel(weights, vectors, name=class_name)
+        model.save_weights(artefact_dir / f"weights_{class_name}.json")
+        print(f"[build] trained + saved class {class_name!r}")
+
+
+def service(artefact_dir: Path) -> None:
+    """The online phase: load artefacts, answer queries in microseconds."""
+    catalog = MetagraphCatalog.load(artefact_dir / "catalog.json")
+    vectors = MetagraphVectors.load(artefact_dir / "vectors.json")
+    vectors.verify_catalog(catalog)
+    models = {
+        path.stem.removeprefix("weights_"): ProximityModel.load_weights(path, vectors)
+        for path in sorted(artefact_dir.glob("weights_*.json"))
+    }
+    print(f"[service] loaded {len(models)} classes over {len(catalog)} metagraphs")
+
+    query = sorted(vectors.nodes_with_counts())[0]
+    for class_name, model in models.items():
+        start = time.perf_counter()
+        results = model.rank(query, k=3)
+        elapsed = (time.perf_counter() - start) * 1e3
+        print(f"\n[service] {query} / {class_name!r} ({elapsed:.2f} ms):")
+        for node, score in results:
+            reasons = [
+                f"{catalog[mg_id].name}:{contribution:.2f}"
+                for mg_id, contribution in model.explain(query, node, k=2)
+            ]
+            print(f"  {node}  pi={score:.3f}  because {', '.join(reasons)}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        artefact_dir = Path(tmp)
+        build_job(artefact_dir)
+        files = sorted(p.name for p in artefact_dir.iterdir())
+        print(f"\n[build] artefacts: {files}\n")
+        service(artefact_dir)
+
+
+if __name__ == "__main__":
+    main()

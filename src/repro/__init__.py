@@ -1,0 +1,25 @@
+"""repro — reproduction of *Semantic Proximity Search on Graphs with
+Metagraph-based Learning* (Fang et al., ICDE 2016).
+
+Top-level convenience re-exports cover the objects most users need:
+build or load a :class:`TypedGraph`, mine a :class:`MetagraphCatalog`,
+index instances into metagraph vectors, train a proximity model, and
+rank nodes by semantic proximity.  See README.md for a quickstart.
+"""
+
+from repro.graph import GraphBuilder, GraphSchema, TypedGraph
+from repro.metagraph import Metagraph, MetagraphCatalog, metapath
+from repro.search import SemanticProximitySearch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphBuilder",
+    "GraphSchema",
+    "Metagraph",
+    "MetagraphCatalog",
+    "SemanticProximitySearch",
+    "TypedGraph",
+    "__version__",
+    "metapath",
+]

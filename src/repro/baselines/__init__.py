@@ -1,0 +1,26 @@
+"""Comparison algorithms (Sect. V-B): MPP, MGP-U, MGP-B, SRW, PPR, SimRank."""
+
+from repro.baselines.mgp_variants import mgp_uniform, train_mgp_best, train_mpp
+from repro.baselines.pathsim import pathsim_model, select_pathsim
+from repro.baselines.pagerank import (
+    NodeIndexer,
+    personalized_pagerank,
+    ppr_ranker,
+    transition_matrix,
+)
+from repro.baselines.simrank import SimRank
+from repro.baselines.srw import SRWModel
+
+__all__ = [
+    "NodeIndexer",
+    "SRWModel",
+    "SimRank",
+    "mgp_uniform",
+    "pathsim_model",
+    "personalized_pagerank",
+    "ppr_ranker",
+    "select_pathsim",
+    "train_mgp_best",
+    "train_mpp",
+    "transition_matrix",
+]

@@ -1,0 +1,72 @@
+"""The MGP-derived comparison algorithms of Sect. V-B.
+
+- **MPP**: metapath-based proximity — the MGP machinery restricted to
+  the metapath subset of the catalog (adapting PathSim's metapaths [4]
+  to the supervised approach);
+- **MGP-U**: uniform weights over all metagraphs (no learning);
+- **MGP-B**: the single best metagraph on the *training* data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.eval.harness import evaluate_ranker, model_ranker
+from repro.exceptions import LearningError
+from repro.graph.typed_graph import NodeId
+from repro.index.vectors import MetagraphVectors
+from repro.learning.examples import LabelMap
+from repro.learning.model import (
+    ProximityModel,
+    single_metagraph_model,
+    uniform_model,
+)
+from repro.learning.objective import Triplet
+from repro.learning.trainer import Trainer
+from repro.metagraph.catalog import MetagraphCatalog
+
+
+def train_mpp(
+    catalog: MetagraphCatalog,
+    vectors: MetagraphVectors,
+    triplets: Sequence[Triplet],
+    trainer: Trainer | None = None,
+) -> ProximityModel:
+    """MPP: supervised training restricted to metapaths."""
+    trainer = trainer or Trainer()
+    seed_ids = catalog.metapath_ids()
+    if not seed_ids:
+        raise LearningError("catalog contains no metapaths for MPP")
+    weights = trainer.train(triplets, vectors, active_ids=seed_ids)
+    return ProximityModel(weights, vectors, name="MPP")
+
+
+def mgp_uniform(vectors: MetagraphVectors) -> ProximityModel:
+    """MGP-U: uniform weighting, independent of the training data."""
+    return uniform_model(vectors, name="MGP-U")
+
+
+def train_mgp_best(
+    vectors: MetagraphVectors,
+    train_queries: Sequence[NodeId],
+    labels: LabelMap,
+    universe: Sequence[NodeId],
+    k: int = 10,
+) -> ProximityModel:
+    """MGP-B: pick the single best-performing metagraph on training data.
+
+    Every matched metagraph is evaluated as a one-hot model by NDCG@k on
+    the training queries; the argmax (ties to the smaller id) wins.
+    """
+    matched = sorted(vectors.matched_ids)
+    if not matched:
+        raise LearningError("vector store is empty; nothing to select from")
+    best_id, best_score = matched[0], -1.0
+    for mg_id in matched:
+        model = single_metagraph_model(vectors, mg_id)
+        result = evaluate_ranker(
+            model_ranker(model, universe), train_queries, labels, k=k
+        )
+        if result.ndcg > best_score:
+            best_id, best_score = mg_id, result.ndcg
+    return single_metagraph_model(vectors, best_id, name="MGP-B")

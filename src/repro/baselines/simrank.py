@@ -1,0 +1,79 @@
+"""SimRank [2]: structural-context similarity, a related-work reference.
+
+Included for completeness of the proximity-search landscape the paper
+surveys (it measures only a "generic" proximity and cannot target a
+semantic class).  Matrix form on dense numpy arrays:
+
+    S <- max(C * W^T S W, I)
+
+with ``W`` the column-normalised adjacency and decay ``C``.  Dense n^2
+state bounds usable graph sizes; a guard refuses graphs above
+``max_nodes``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.pagerank import NodeIndexer
+from repro.exceptions import ReproError
+from repro.graph.typed_graph import NodeId, TypedGraph
+
+
+class SimRank:
+    """SimRank scores over a (small) typed graph."""
+
+    def __init__(
+        self,
+        graph: TypedGraph,
+        decay: float = 0.8,
+        iterations: int = 5,
+        max_nodes: int = 4000,
+    ):
+        if graph.num_nodes > max_nodes:
+            raise ReproError(
+                f"SimRank is dense O(n^2); graph has {graph.num_nodes} nodes "
+                f"(max {max_nodes})"
+            )
+        self.graph = graph
+        self.decay = decay
+        self.iterations = iterations
+        self.indexer = NodeIndexer(graph)
+        self._scores = self._compute()
+
+    def _compute(self) -> np.ndarray:
+        n = len(self.indexer)
+        adjacency = np.zeros((n, n))
+        for u, v in self.graph.edges():
+            iu, iv = self.indexer.index[u], self.indexer.index[v]
+            adjacency[iu, iv] = adjacency[iv, iu] = 1.0
+        col_sums = adjacency.sum(axis=0)
+        col_sums[col_sums == 0] = 1.0
+        w = adjacency / col_sums  # column-normalised
+        scores = np.eye(n)
+        identity = np.eye(n)
+        for _ in range(self.iterations):
+            scores = self.decay * (w.T @ scores @ w)
+            np.fill_diagonal(scores, 1.0)
+            scores = np.maximum(scores, identity * 0.0)
+        return scores
+
+    def similarity(self, x: NodeId, y: NodeId) -> float:
+        """SimRank score s(x, y)."""
+        return float(
+            self._scores[self.indexer.index[x], self.indexer.index[y]]
+        )
+
+    def rank(
+        self, query: NodeId, universe: Sequence[NodeId], k: int | None = None
+    ) -> list[tuple[NodeId, float]]:
+        """Universe nodes in descending SimRank similarity to ``query``."""
+        scored = [
+            (node, self.similarity(query, node))
+            for node in universe
+            if node != query
+        ]
+        scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        return scored[:k] if k is not None else scored

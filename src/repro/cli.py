@@ -1,0 +1,85 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro table2 --quick
+    python -m repro fig6 --scale small --splits 3
+    python -m repro all --quick
+
+``--quick`` switches to the tiny preset (minutes); the default ``small``
+scale is the one EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, QUICK_CONFIG, ExperimentConfig, OfflineRunner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The `python -m repro` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Semantic Proximity Search on Graphs with "
+            "Metagraph-based Learning' (ICDE 2016): regenerate any table "
+            "or figure of the evaluation section."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*sorted(EXPERIMENTS), "all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny datasets and reduced sweeps (fast smoke run)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["tiny", "small", "medium"],
+        default=None,
+        help="dataset scale preset (default: small, or tiny with --quick)",
+    )
+    parser.add_argument(
+        "--splits", type=int, default=None, help="number of query splits"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="global seed")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Resolve CLI flags into an ExperimentConfig."""
+    config = QUICK_CONFIG if args.quick else ExperimentConfig()
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.splits is not None:
+        overrides["num_splits"] = args.splits
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    runner = OfflineRunner(config)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        output = EXPERIMENTS[name](config, runner)
+        elapsed = time.perf_counter() - start
+        print(output)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

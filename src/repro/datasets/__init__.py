@@ -1,0 +1,62 @@
+"""Datasets: the toy graph and the two synthetic HIN generators."""
+
+from repro.datasets.base import (
+    ClassLabels,
+    LabeledGraphDataset,
+    labels_as_pairs,
+    symmetric_labels,
+)
+from repro.datasets.facebook import (
+    FACEBOOK_SCALES,
+    FACEBOOK_SCHEMA,
+    FacebookConfig,
+    generate_facebook,
+)
+from repro.datasets.linkedin import (
+    LINKEDIN_SCALES,
+    LINKEDIN_SCHEMA,
+    LinkedInConfig,
+    generate_linkedin,
+)
+from repro.datasets.toy import toy_dataset, toy_graph, toy_metagraphs
+
+DATASET_GENERATORS = {
+    "linkedin": generate_linkedin,
+    "facebook": generate_facebook,
+}
+"""Name -> generator, used by the CLI and the experiment configs."""
+
+
+def load_dataset(name: str, scale: str = "small") -> LabeledGraphDataset:
+    """Generate a dataset by name at the given scale preset."""
+    if name == "toy":
+        return toy_dataset()
+    try:
+        generator = DATASET_GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: "
+            f"{['toy', *sorted(DATASET_GENERATORS)]}"
+        ) from None
+    return generator(scale=scale)
+
+
+__all__ = [
+    "ClassLabels",
+    "DATASET_GENERATORS",
+    "FACEBOOK_SCALES",
+    "FACEBOOK_SCHEMA",
+    "FacebookConfig",
+    "LINKEDIN_SCALES",
+    "LINKEDIN_SCHEMA",
+    "LabeledGraphDataset",
+    "LinkedInConfig",
+    "generate_facebook",
+    "generate_linkedin",
+    "labels_as_pairs",
+    "load_dataset",
+    "symmetric_labels",
+    "toy_dataset",
+    "toy_graph",
+    "toy_metagraphs",
+]

@@ -1,0 +1,108 @@
+"""LabeledGraphDataset: a typed graph plus semantic-class ground truth.
+
+A dataset bundles the object graph with, per semantic class, the
+symmetric membership relation between anchor nodes: ``labels[class][q]``
+is the set of nodes in the class w.r.t. ``q``.  Query nodes (Sect. V-A)
+are anchor nodes with at least one same-class partner.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.exceptions import DatasetError
+from repro.graph.typed_graph import NodeId, TypedGraph
+
+ClassLabels = dict[NodeId, frozenset[NodeId]]
+
+
+@dataclass
+class LabeledGraphDataset:
+    """A heterogeneous graph with labelled semantic classes of proximity."""
+
+    name: str
+    graph: TypedGraph
+    anchor_type: str
+    labels: dict[str, ClassLabels] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        anchors = self.graph.nodes_of_type(self.anchor_type)
+        if not anchors:
+            raise DatasetError(
+                f"graph has no nodes of anchor type {self.anchor_type!r}"
+            )
+        for class_name, class_labels in self.labels.items():
+            for q, members in class_labels.items():
+                if q not in anchors:
+                    raise DatasetError(
+                        f"label query {q!r} in class {class_name!r} is not "
+                        f"an anchor node"
+                    )
+                if q in members:
+                    raise DatasetError(
+                        f"node {q!r} labelled as its own class member in "
+                        f"{class_name!r}"
+                    )
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """The semantic class names, sorted."""
+        return tuple(sorted(self.labels))
+
+    @property
+    def universe(self) -> tuple[NodeId, ...]:
+        """All anchor nodes, sorted — the ranking universe."""
+        return tuple(sorted(self.graph.nodes_of_type(self.anchor_type), key=repr))
+
+    def class_labels(self, class_name: str) -> ClassLabels:
+        """Labels of one class; raises for unknown classes."""
+        try:
+            return self.labels[class_name]
+        except KeyError:
+            raise DatasetError(
+                f"dataset {self.name!r} has no class {class_name!r}; "
+                f"available: {list(self.classes)}"
+            ) from None
+
+    def queries(self, class_name: str) -> tuple[NodeId, ...]:
+        """Query nodes of a class: anchors with >= 1 same-class partner."""
+        class_labels = self.class_labels(class_name)
+        return tuple(
+            sorted(
+                (q for q, members in class_labels.items() if members),
+                key=repr,
+            )
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Table II-style description row."""
+        row: dict[str, object] = {
+            "dataset": self.name,
+            "#Nodes": self.graph.num_nodes,
+            "#Edges": self.graph.num_edges,
+            "#Types": len(self.graph.types),
+        }
+        for class_name in self.classes:
+            row[f"#Queries ({class_name})"] = len(self.queries(class_name))
+        return row
+
+
+def symmetric_labels(pairs: Iterable[tuple[NodeId, NodeId]]) -> ClassLabels:
+    """Build the symmetric membership map from unordered labelled pairs."""
+    out: dict[NodeId, set[NodeId]] = {}
+    for x, y in pairs:
+        if x == y:
+            raise DatasetError(f"self-pair {x!r} in class labels")
+        out.setdefault(x, set()).add(y)
+        out.setdefault(y, set()).add(x)
+    return {node: frozenset(members) for node, members in out.items()}
+
+
+def labels_as_pairs(class_labels: Mapping[NodeId, frozenset[NodeId]]) -> set[tuple[NodeId, NodeId]]:
+    """The unordered labelled pairs of a class (inverse of symmetric_labels)."""
+    pairs: set[tuple[NodeId, NodeId]] = set()
+    for q, members in class_labels.items():
+        for m in members:
+            pairs.add((q, m) if repr(q) <= repr(m) else (m, q))
+    return pairs

@@ -1,0 +1,232 @@
+"""Shared machinery for the synthetic heterogeneous-graph generators.
+
+The paper's two datasets are crawls that cannot be redistributed; the
+generators in :mod:`repro.datasets.linkedin` and
+:mod:`repro.datasets.facebook` synthesise graphs with the same type
+schemas and the same causal structure: semantic classes are *planted* as
+groups of users who share typed attribute values, plus noise edges that
+blur the signal.  Everything is driven by an explicit seed.
+
+Building blocks:
+
+- :func:`partition_into_groups` — split users into disjoint groups of
+  random sizes (a "cohort", "family", "team", ...);
+- :func:`attach_group_attribute` — give each group its own attribute
+  node and connect members with a given probability;
+- :func:`attach_noise_attributes` — connect users to random attribute
+  nodes of a type, diluting the planted signal.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.exceptions import DatasetError
+from repro.graph.builder import GraphBuilder
+from repro.graph.typed_graph import NodeId
+
+
+def partition_into_groups(
+    members: Sequence[NodeId],
+    min_size: int,
+    max_size: int,
+    rng: random.Random,
+) -> list[list[NodeId]]:
+    """Shuffle and partition ``members`` into groups of random sizes."""
+    if min_size < 1 or max_size < min_size:
+        raise DatasetError(
+            f"invalid group size range [{min_size}, {max_size}]"
+        )
+    pool = list(members)
+    rng.shuffle(pool)
+    groups: list[list[NodeId]] = []
+    i = 0
+    while i < len(pool):
+        size = rng.randint(min_size, max_size)
+        groups.append(pool[i : i + size])
+        i += size
+    return groups
+
+
+def attach_group_attribute(
+    builder: GraphBuilder,
+    groups: Sequence[Sequence[NodeId]],
+    attribute_type: str,
+    prefix: str,
+    rng: random.Random,
+    attach_probability: float = 1.0,
+) -> list[NodeId]:
+    """One fresh attribute node per group; members attach with probability.
+
+    Returns the attribute node id for each group (attribute nodes are
+    created even if no member ends up attached — they are removed by
+    nobody and simply stay isolated-from-users).
+    """
+    attribute_nodes: list[NodeId] = []
+    for group_index, group in enumerate(groups):
+        value = f"{prefix}{group_index}"
+        builder.node(value, attribute_type)
+        attribute_nodes.append(value)
+        for member in group:
+            if rng.random() < attach_probability:
+                builder.edge(member, value)
+    return attribute_nodes
+
+
+def attach_pooled_attribute(
+    builder: GraphBuilder,
+    groups: Sequence[Sequence[NodeId]],
+    attribute_type: str,
+    pool: Sequence[NodeId],
+    rng: random.Random,
+    attach_probability: float = 1.0,
+) -> list[NodeId]:
+    """Each group draws its attribute from a shared pool (collisions OK).
+
+    Unlike :func:`attach_group_attribute`, distinct groups can share a
+    value — two unrelated families can both be "Smith", two cohorts can
+    attend the same school.  This is what makes single attributes
+    insufficient and conjunctions (the paper's metagraphs) necessary.
+    Returns the value drawn per group.
+    """
+    for value in pool:
+        builder.node(value, attribute_type)
+    drawn: list[NodeId] = []
+    for group in groups:
+        value = rng.choice(list(pool))
+        drawn.append(value)
+        for member in group:
+            if rng.random() < attach_probability and not builder.graph.has_edge(
+                member, value
+            ):
+                builder.edge(member, value)
+    return drawn
+
+
+def attach_noise_attributes(
+    builder: GraphBuilder,
+    users: Sequence[NodeId],
+    attribute_nodes: Sequence[NodeId],
+    probability: float,
+    rng: random.Random,
+    max_extra: int = 1,
+) -> None:
+    """Connect users to random existing attribute nodes (confounders)."""
+    if not attribute_nodes:
+        return
+    for user in users:
+        for _ in range(max_extra):
+            if rng.random() < probability:
+                target = rng.choice(list(attribute_nodes))
+                if not builder.graph.has_edge(user, target):
+                    builder.edge(user, target)
+
+
+def correlated_groups(
+    members: Sequence[NodeId],
+    home_of: dict[NodeId, NodeId],
+    min_size: int,
+    max_size: int,
+    rng: random.Random,
+    locality: float = 0.8,
+) -> list[list[NodeId]]:
+    """Partition ``members`` into groups biased towards a shared "home".
+
+    Each group is seeded by a random member and then filled from that
+    member's home community with probability ``locality`` (falling back
+    to the global pool).  This is how real cohorts look: a college class
+    mostly lives in the campus city, an office team mostly in one
+    location — which is exactly the co-occurrence structure that makes
+    conjunctive metagraphs (share college AND location) informative.
+    """
+    remaining = sorted(members, key=repr)
+    rng.shuffle(remaining)
+    remaining_set = set(remaining)
+    groups: list[list[NodeId]] = []
+    while remaining_set:
+        seed = next(u for u in remaining if u in remaining_set)
+        size = rng.randint(min_size, max_size)
+        group = [seed]
+        remaining_set.discard(seed)
+        home = home_of[seed]
+        local_pool = [
+            u for u in remaining if u in remaining_set and home_of[u] == home
+        ]
+        while len(group) < size and remaining_set:
+            take_local = local_pool and rng.random() < locality
+            if take_local:
+                pick = local_pool.pop(rng.randrange(len(local_pool)))
+                if pick not in remaining_set:
+                    continue
+            else:
+                candidates = [u for u in remaining if u in remaining_set]
+                pick = rng.choice(candidates)
+                if pick in local_pool:
+                    local_pool.remove(pick)
+            group.append(pick)
+            remaining_set.discard(pick)
+        groups.append(group)
+    return groups
+
+
+def pairs_sharing(
+    graph,
+    anchor_type: str,
+    type_a: str,
+    types_b: Sequence[str],
+) -> set[tuple[NodeId, NodeId]]:
+    """Anchor pairs sharing a ``type_a`` node AND a node of any type in
+    ``types_b`` — the rule template of Sect. V-A's ground-truth classes.
+    """
+    pairs: set[tuple[NodeId, NodeId]] = set()
+    for hub in graph.nodes_of_type(type_a):
+        members = sorted(graph.neighbors_of_type(hub, anchor_type), key=repr)
+        for i, x in enumerate(members):
+            for y in members[i + 1 :]:
+                if any(
+                    graph.neighbors_of_type(x, t) & graph.neighbors_of_type(y, t)
+                    for t in types_b
+                ):
+                    pairs.add((x, y))
+    return pairs
+
+
+def group_pairs(groups: Sequence[Sequence[NodeId]]) -> set[tuple[NodeId, NodeId]]:
+    """All unordered within-group pairs — the planted class relation."""
+    pairs: set[tuple[NodeId, NodeId]] = set()
+    for group in groups:
+        ordered = sorted(group, key=repr)
+        for i, x in enumerate(ordered):
+            for y in ordered[i + 1 :]:
+                pairs.add((x, y))
+    return pairs
+
+
+def perturb_pairs(
+    pairs: set[tuple[NodeId, NodeId]],
+    universe: Sequence[NodeId],
+    flip_probability: float,
+    rng: random.Random,
+) -> set[tuple[NodeId, NodeId]]:
+    """Sect. V-A's "5% chance to assign a random class label".
+
+    Each derived pair is dropped with ``flip_probability``; the same
+    expected number of uniformly random pairs is added.  Pairs are
+    visited in sorted order so the outcome depends only on the seed,
+    not on set-iteration (hash) order.
+    """
+    ordered = sorted(pairs, key=repr)
+    kept = {pair for pair in ordered if rng.random() >= flip_probability}
+    num_random = sum(1 for _ in range(len(ordered)) if rng.random() < flip_probability)
+    pool = sorted(universe, key=repr)
+    added = 0
+    attempts = 0
+    while added < num_random and attempts < 50 * (num_random + 1):
+        attempts += 1
+        x, y = rng.sample(pool, 2)
+        pair = (x, y) if repr(x) <= repr(y) else (y, x)
+        if pair not in kept:
+            kept.add(pair)
+            added += 1
+    return kept

@@ -1,0 +1,79 @@
+"""The paper's Fig. 1 toy social network and Fig. 2 metagraphs.
+
+Useful for documentation, examples and tests: every instance count can
+be verified by hand against the figure.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import LabeledGraphDataset, symmetric_labels
+from repro.graph.typed_graph import TypedGraph
+from repro.metagraph.metagraph import Metagraph, metapath
+
+
+def toy_graph() -> TypedGraph:
+    """The Fig. 1 toy graph: five users and their attribute nodes."""
+    g = TypedGraph(name="toy")
+    for user in ("Alice", "Bob", "Kate", "Jay", "Tom"):
+        g.add_node(user, "user")
+    attributes = [
+        ("Clinton", "surname"),
+        ("123 Green St", "address"),
+        ("456 White St", "address"),
+        ("College A", "school"),
+        ("College B", "school"),
+        ("Economics", "major"),
+        ("Physics", "major"),
+        ("Company X", "employer"),
+        ("Music", "hobby"),
+    ]
+    for value, node_type in attributes:
+        g.add_node(value, node_type)
+    edges = [
+        ("Alice", "Clinton"), ("Bob", "Clinton"),
+        ("Alice", "123 Green St"), ("Bob", "123 Green St"),
+        ("Kate", "Company X"), ("Alice", "Company X"),
+        ("Kate", "Music"), ("Alice", "Music"),
+        ("Kate", "456 White St"), ("Jay", "456 White St"),
+        ("Kate", "College B"), ("Jay", "College B"),
+        ("Kate", "Economics"), ("Jay", "Economics"),
+        ("Bob", "College A"), ("Tom", "College A"),
+        ("Bob", "Physics"), ("Tom", "Physics"),
+    ]
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+def toy_metagraphs() -> dict[str, Metagraph]:
+    """Fig. 2's M1 (classmate), M2/M3 (close friend), M4 (family)."""
+    return {
+        "M1": Metagraph(
+            ["user", "school", "major", "user"],
+            [(0, 1), (0, 2), (3, 1), (3, 2)],
+            name="M1",
+        ),
+        "M2": Metagraph(
+            ["user", "employer", "hobby", "user"],
+            [(0, 1), (0, 2), (3, 1), (3, 2)],
+            name="M2",
+        ),
+        "M3": metapath("user", "address", "user", name="M3"),
+        "M4": Metagraph(
+            ["user", "surname", "address", "user"],
+            [(0, 1), (0, 2), (3, 1), (3, 2)],
+            name="M4",
+        ),
+    }
+
+
+def toy_dataset() -> LabeledGraphDataset:
+    """Fig. 1's graph with the classes of Fig. 1(b) as ground truth."""
+    labels = {
+        "classmates": symmetric_labels([("Kate", "Jay"), ("Bob", "Tom")]),
+        "close friends": symmetric_labels([("Kate", "Alice"), ("Kate", "Jay")]),
+        "family": symmetric_labels([("Bob", "Alice")]),
+    }
+    return LabeledGraphDataset(
+        name="toy", graph=toy_graph(), anchor_type="user", labels=labels
+    )

@@ -1,0 +1,36 @@
+"""Evaluation protocol: metrics, splits, and the ranking harness."""
+
+from repro.eval.harness import (
+    EvalResult,
+    Ranker,
+    average_results,
+    evaluate_ranker,
+    model_ranker,
+)
+from repro.eval.metrics import (
+    average_precision_at_k,
+    dcg_at_k,
+    ideal_dcg_at_k,
+    mean,
+    ndcg_at_k,
+    precision_at_k,
+    reciprocal_rank,
+)
+from repro.eval.splits import QuerySplit, split_queries
+
+__all__ = [
+    "EvalResult",
+    "QuerySplit",
+    "Ranker",
+    "average_precision_at_k",
+    "average_results",
+    "dcg_at_k",
+    "evaluate_ranker",
+    "ideal_dcg_at_k",
+    "mean",
+    "model_ranker",
+    "ndcg_at_k",
+    "precision_at_k",
+    "reciprocal_rank",
+    "split_queries",
+]

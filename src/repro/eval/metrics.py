@@ -1,0 +1,81 @@
+"""Ranking quality metrics: NDCG@k and MAP@k (Sect. V-A, "adopted NDCG
+and MAP to evaluate the quality of the algorithmic rankings at top 10").
+
+Relevance is binary: a ranked node is relevant iff it belongs to the
+desired class w.r.t. the query.  The ideal ranking places all relevant
+nodes first, so
+
+    NDCG@k = DCG@k / IDCG@k,   DCG@k = sum_i rel_i / log2(i + 1)
+    AP@k   = (1/min(R, k)) * sum_i rel_i * precision@i
+
+with positions ``i`` starting at 1 and ``R`` the number of relevant
+nodes.  Queries with no relevant nodes are excluded by the harness
+(Sect. V-A only uses queries with at least one same-class user).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence, Set
+
+from repro.graph.typed_graph import NodeId
+
+
+def dcg_at_k(ranked: Sequence[NodeId], relevant: Set, k: int) -> float:
+    """Discounted cumulative gain of the top-k prefix (binary relevance)."""
+    total = 0.0
+    for i, node in enumerate(ranked[:k], start=1):
+        if node in relevant:
+            total += 1.0 / math.log2(i + 1)
+    return total
+
+
+def ideal_dcg_at_k(num_relevant: int, k: int) -> float:
+    """DCG of the ideal ranking: all relevant nodes first."""
+    return sum(
+        1.0 / math.log2(i + 1) for i in range(1, min(num_relevant, k) + 1)
+    )
+
+
+def ndcg_at_k(ranked: Sequence[NodeId], relevant: Set, k: int = 10) -> float:
+    """NDCG@k in [0, 1]; 0 when there are no relevant nodes."""
+    ideal = ideal_dcg_at_k(len(relevant), k)
+    if ideal == 0.0:
+        return 0.0
+    return dcg_at_k(ranked, relevant, k) / ideal
+
+
+def average_precision_at_k(
+    ranked: Sequence[NodeId], relevant: Set, k: int = 10
+) -> float:
+    """AP@k in [0, 1]; 0 when there are no relevant nodes."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for i, node in enumerate(ranked[:k], start=1):
+        if node in relevant:
+            hits += 1
+            total += hits / i
+    return total / min(len(relevant), k)
+
+
+def precision_at_k(ranked: Sequence[NodeId], relevant: Set, k: int = 10) -> float:
+    """Fraction of the top-k that is relevant."""
+    if k <= 0:
+        return 0.0
+    hits = sum(1 for node in ranked[:k] if node in relevant)
+    return hits / k
+
+
+def reciprocal_rank(ranked: Sequence[NodeId], relevant: Set) -> float:
+    """1 / rank of the first relevant node (0 if none appears)."""
+    for i, node in enumerate(ranked, start=1):
+        if node in relevant:
+            return 1.0 / i
+    return 0.0
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0 for an empty sequence (no queries evaluated)."""
+    return sum(values) / len(values) if values else 0.0

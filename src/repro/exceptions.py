@@ -1,0 +1,88 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing finer-grained categories when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to typed object graphs."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was referenced that does not exist in the graph."""
+
+    def __init__(self, node):
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node id was added twice, possibly with conflicting types."""
+
+    def __init__(self, node, existing_type, new_type):
+        super().__init__(
+            f"node {node!r} already exists with type {existing_type!r}; "
+            f"cannot re-add with type {new_type!r}"
+        )
+        self.node = node
+        self.existing_type = existing_type
+        self.new_type = new_type
+
+
+class EdgeError(GraphError, ValueError):
+    """An edge is structurally invalid (self-loop, unknown endpoint, ...)."""
+
+
+class SchemaError(GraphError, ValueError):
+    """A node or edge violates the graph schema."""
+
+
+class MetagraphError(ReproError):
+    """Base class for errors related to metagraph construction/handling."""
+
+
+class InvalidMetagraphError(MetagraphError, ValueError):
+    """The metagraph is malformed (disconnected, self-loops, empty, ...)."""
+
+
+class MatchingError(ReproError):
+    """Base class for errors raised by subgraph matching engines."""
+
+
+class LearningError(ReproError):
+    """Base class for errors raised by the learning subsystem."""
+
+
+class TrainingDataError(LearningError, ValueError):
+    """Training examples are empty, malformed, or inconsistent."""
+
+
+class ConvergenceError(LearningError, RuntimeError):
+    """Gradient ascent failed to make progress within the iteration budget."""
+
+
+class IndexError_(ReproError):
+    """Base class for errors raised by the instance-index subsystem.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class CatalogMismatchError(IndexError_, ValueError):
+    """Vectors/weights refer to a different metagraph catalog than provided."""
+
+
+class DatasetError(ReproError):
+    """Base class for errors raised by dataset generators/loaders."""
+
+
+class ExperimentError(ReproError):
+    """Base class for errors raised by the experiment harness."""

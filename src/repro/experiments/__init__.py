@@ -1,0 +1,36 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from repro.experiments import (
+    fig4,
+    fig6_7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table2,
+    table3,
+)
+from repro.experiments.config import QUICK_CONFIG, ExperimentConfig
+from repro.experiments.runner import OfflinePhase, OfflineRunner
+
+EXPERIMENTS = {
+    "table2": table2.main,
+    "table3": table3.main,
+    "fig4": fig4.main,
+    "fig6": lambda config, runner=None: fig6_7.main(config, runner, metric="ndcg"),
+    "fig7": lambda config, runner=None: fig6_7.main(config, runner, metric="map"),
+    "fig6_7": fig6_7.main,
+    "fig8": fig8.main,
+    "fig9": fig9.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+}
+"""Experiment name -> renderer, used by the CLI."""
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "OfflinePhase",
+    "OfflineRunner",
+    "QUICK_CONFIG",
+]

@@ -1,0 +1,75 @@
+"""Helpers shared by the accuracy experiments (Fig. 6–8, 10)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.datasets import LabeledGraphDataset
+from repro.eval.harness import EvalResult, evaluate_ranker, model_ranker
+from repro.eval.splits import QuerySplit, split_queries
+from repro.graph.typed_graph import NodeId
+from repro.index.vectors import MetagraphVectors
+from repro.learning.examples import generate_triplets
+from repro.learning.model import ProximityModel
+from repro.learning.objective import Triplet
+
+
+def splits_for(
+    dataset: LabeledGraphDataset,
+    class_name: str,
+    num_splits: int,
+    seed: int,
+) -> list[QuerySplit]:
+    """The paper's 20/80 splits for one dataset+class."""
+    return split_queries(
+        dataset.queries(class_name),
+        train_fraction=0.2,
+        num_splits=num_splits,
+        seed=seed,
+    )
+
+
+def triplets_for_split(
+    dataset: LabeledGraphDataset,
+    class_name: str,
+    split: QuerySplit,
+    num_examples: int,
+    seed: int,
+) -> list[Triplet]:
+    """Omega sampled from one split's training queries."""
+    return generate_triplets(
+        split.train,
+        dataset.class_labels(class_name),
+        dataset.universe,
+        num_examples=num_examples,
+        seed=seed,
+    )
+
+
+def evaluate_weights(
+    weights: np.ndarray,
+    vectors: MetagraphVectors,
+    dataset: LabeledGraphDataset,
+    class_name: str,
+    test_queries: Sequence[NodeId],
+    k: int = 10,
+) -> EvalResult:
+    """NDCG/MAP of an MGP weight vector on one split's test queries."""
+    model = ProximityModel(weights, vectors)
+    return evaluate_ranker(
+        model_ranker(model, dataset.universe),
+        test_queries,
+        dataset.class_labels(class_name),
+        k=k,
+    )
+
+
+def dataset_class_pairs(runner) -> list[tuple[str, str]]:
+    """The paper's four (dataset, class) combinations, in Fig. 6 order."""
+    pairs = []
+    for name in ("linkedin", "facebook"):
+        dataset = runner.dataset(name)
+        pairs.extend((name, class_name) for class_name in dataset.classes)
+    return pairs

@@ -1,0 +1,82 @@
+"""Plain-text report formatting shared by all experiments.
+
+The paper reports tables (Table II/III) and line/bar series (Fig. 4,
+6–11).  Experiments return structured rows/series; this module renders
+them as aligned text tables so every experiment regenerates "the same
+rows the paper reports" on stdout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+Row = Mapping[str, object]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], title: str = "") -> str:
+    """Render rows (dicts sharing keys) as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        col: max(len(col), *(len(_cell(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_cell(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple[object, float]]],
+    x_label: str,
+    y_label: str,
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as a table with one column per series.
+
+    This is the text rendering of the paper's line figures: the x axis
+    down the rows, one series (algorithm) per column.
+    """
+    xs: list[object] = []
+    for points in series.values():
+        for x, _y in points:
+            if x not in xs:
+                xs.append(x)
+    rows: list[dict[str, object]] = []
+    for x in xs:
+        row: dict[str, object] = {x_label: x}
+        for name, points in series.items():
+            lookup = {px: py for px, py in points}
+            if x in lookup:
+                row[name] = lookup[x]
+        rows.append(row)
+    heading = f"{title}  [{y_label}]" if title else f"[{y_label}]"
+    return format_table(rows, title=heading)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a signed percentage string."""
+    return f"{value * 100:+.1f}%"

@@ -1,0 +1,39 @@
+"""Table II: description of datasets.
+
+Paper's columns: #Nodes, #Edges, #Types, #Metagraphs, #Queries per
+class.  Paper values (for shape comparison; our datasets are synthetic
+and smaller): LinkedIn 65 925 / 220 812 / 4 / 164 / 172+173;
+Facebook 5 025 / 100 356 / 10 / 954 / 340+904.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import OfflineRunner
+
+
+def run(config: ExperimentConfig, runner: OfflineRunner | None = None) -> list[dict]:
+    """Compute the Table II rows for both datasets."""
+    runner = runner or OfflineRunner(config)
+    rows = []
+    for name in ("linkedin", "facebook"):
+        phase = runner.offline(name)
+        dataset = phase.dataset
+        row: dict[str, object] = {
+            "dataset": name,
+            "#Nodes": dataset.graph.num_nodes,
+            "#Edges": dataset.graph.num_edges,
+            "#Types": len(dataset.graph.types),
+            "#Metagraphs": len(phase.catalog),
+            "#Metapaths": len(phase.catalog.metapath_ids()),
+        }
+        for class_name in dataset.classes:
+            row[f"#Queries ({class_name})"] = len(dataset.queries(class_name))
+        rows.append(row)
+    return rows
+
+
+def main(config: ExperimentConfig, runner: OfflineRunner | None = None) -> str:
+    """Render Table II."""
+    return format_table(run(config, runner), title="Table II: dataset description")

@@ -1,0 +1,63 @@
+"""Table III: time costs without dual-stage training (seconds).
+
+Paper's columns: offline mining (GRAMI), offline matching, training with
+1000 examples, online testing per query.  The paper's point — matching
+dominates the offline phase by at least an order of magnitude, while
+online testing is sub-millisecond — is the shape to reproduce.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.common import splits_for, triplets_for_split
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import OfflineRunner
+from repro.learning.model import ProximityModel
+
+
+def run(config: ExperimentConfig, runner: OfflineRunner | None = None) -> list[dict]:
+    """Compute the Table III rows for both datasets."""
+    runner = runner or OfflineRunner(config)
+    rows = []
+    for name in ("linkedin", "facebook"):
+        phase = runner.offline(name)
+        dataset = phase.dataset
+        class_name = dataset.classes[0]
+        split = splits_for(dataset, class_name, 1, config.seed)[0]
+        triplets = triplets_for_split(
+            dataset, class_name, split, num_examples=1000, seed=config.seed
+        )
+        start = time.perf_counter()
+        weights = runner.trainer().train(triplets, phase.vectors)
+        training_seconds = time.perf_counter() - start
+
+        model = ProximityModel(weights, phase.vectors)
+        test_queries = split.test
+        start = time.perf_counter()
+        for q in test_queries:
+            model.rank(q, universe=dataset.universe, k=config.eval_k)
+        testing_seconds = (time.perf_counter() - start) / max(1, len(test_queries))
+
+        rows.append(
+            {
+                "dataset": name,
+                "Mining (s)": round(phase.mining_seconds, 2),
+                "Matching (s)": round(phase.matching_seconds, 2),
+                "Training w/ 1000 ex. (s)": round(training_seconds, 2),
+                "Testing per query (s)": f"{testing_seconds:.2e}",
+                "Matching/Mining ratio": round(
+                    phase.matching_seconds / max(phase.mining_seconds, 1e-9), 1
+                ),
+            }
+        )
+    return rows
+
+
+def main(config: ExperimentConfig, runner: OfflineRunner | None = None) -> str:
+    """Render Table III."""
+    return format_table(
+        run(config, runner),
+        title="Table III: time costs without dual-stage training",
+    )

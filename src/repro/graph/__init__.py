@@ -1,0 +1,17 @@
+"""Typed heterogeneous graph substrate (Sect. II-A of the paper)."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.schema import GraphSchema
+from repro.graph.statistics import GraphStatistics, degree_histogram, graph_statistics
+from repro.graph.typed_graph import NodeId, TypedGraph, edge_key
+
+__all__ = [
+    "GraphBuilder",
+    "GraphSchema",
+    "GraphStatistics",
+    "NodeId",
+    "TypedGraph",
+    "degree_histogram",
+    "edge_key",
+    "graph_statistics",
+]

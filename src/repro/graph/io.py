@@ -1,0 +1,136 @@
+"""Serialisation for typed graphs: JSON documents, TSV edge lists, networkx.
+
+The on-disk JSON format::
+
+    {
+      "name": "toy",
+      "nodes": [["Alice", "user"], ["College A", "school"]],
+      "edges": [["Alice", "College A"]]
+    }
+
+Node ids are serialised as-is, so only JSON-representable ids round-trip
+through :func:`to_json` / :func:`from_json`.  The TSV format stores one
+``node<TAB>type`` line per node in a ``#nodes`` section and one
+``u<TAB>v`` line per edge in a ``#edges`` section.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+from repro.graph.typed_graph import TypedGraph
+
+
+def to_json(graph: TypedGraph) -> str:
+    """Serialise a graph to a JSON string."""
+    doc = {
+        "name": graph.name,
+        "nodes": sorted(
+            ([node, graph.node_type(node)] for node in graph.nodes()),
+            key=lambda pair: repr(pair[0]),
+        ),
+        "edges": sorted(
+            ([u, v] for u, v in graph.edges()),
+            key=lambda pair: (repr(pair[0]), repr(pair[1])),
+        ),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def from_json(text: str) -> TypedGraph:
+    """Parse a graph from a JSON string produced by :func:`to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid graph JSON: {exc}") from exc
+    for key in ("nodes", "edges"):
+        if key not in doc:
+            raise GraphError(f"graph JSON is missing the {key!r} field")
+    graph = TypedGraph(name=doc.get("name", ""))
+    for entry in doc["nodes"]:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise GraphError(f"malformed node entry: {entry!r}")
+        node, node_type = entry
+        node = tuple(node) if isinstance(node, list) else node
+        graph.add_node(node, node_type)
+    for entry in doc["edges"]:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise GraphError(f"malformed edge entry: {entry!r}")
+        u, v = entry
+        u = tuple(u) if isinstance(u, list) else u
+        v = tuple(v) if isinstance(v, list) else v
+        graph.add_edge(u, v)
+    return graph
+
+
+def save_json(graph: TypedGraph, path: str | Path) -> None:
+    """Write a graph to ``path`` as JSON."""
+    Path(path).write_text(to_json(graph), encoding="utf-8")
+
+
+def load_json(path: str | Path) -> TypedGraph:
+    """Read a graph from a JSON file."""
+    return from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def to_tsv(graph: TypedGraph) -> str:
+    """Serialise a graph of string node ids to a two-section TSV."""
+    lines = ["#nodes"]
+    for node in sorted(graph.nodes(), key=repr):
+        if not isinstance(node, str):
+            raise GraphError("TSV serialisation requires string node ids")
+        lines.append(f"{node}\t{graph.node_type(node)}")
+    lines.append("#edges")
+    for u, v in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+        lines.append(f"{u}\t{v}")
+    return "\n".join(lines) + "\n"
+
+
+def from_tsv(text: str) -> TypedGraph:
+    """Parse a graph from the TSV format of :func:`to_tsv`."""
+    graph = TypedGraph()
+    section = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line in ("#nodes", "#edges"):
+            section = line
+            continue
+        parts = line.split("\t")
+        if len(parts) != 2:
+            raise GraphError(f"TSV line {lineno} is malformed: {raw!r}")
+        if section == "#nodes":
+            graph.add_node(parts[0], parts[1])
+        elif section == "#edges":
+            graph.add_edge(parts[0], parts[1])
+        else:
+            raise GraphError(f"TSV line {lineno} appears before any section header")
+    return graph
+
+
+def to_networkx(graph: TypedGraph) -> nx.Graph:
+    """Convert to a :class:`networkx.Graph` with a ``type`` node attribute."""
+    nxg = nx.Graph(name=graph.name)
+    for node in graph.nodes():
+        nxg.add_node(node, type=graph.node_type(node))
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+def from_networkx(nxg: nx.Graph) -> TypedGraph:
+    """Convert from a networkx graph whose nodes carry a ``type`` attribute."""
+    graph = TypedGraph(name=nxg.name if isinstance(nxg.name, str) else "")
+    for node, data in nxg.nodes(data=True):
+        if "type" not in data:
+            raise GraphError(f"networkx node {node!r} lacks a 'type' attribute")
+        graph.add_node(node, data["type"])
+    for u, v in nxg.edges():
+        if u == v:
+            continue  # typed graphs are simple; drop self-loops silently
+        graph.add_edge(u, v)
+    return graph

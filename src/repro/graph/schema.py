@@ -1,0 +1,110 @@
+"""Graph schema: the set of node types and permitted edge type pairs.
+
+A :class:`GraphSchema` describes which node types exist and which
+(unordered) pairs of types may be connected by an edge.  Datasets declare
+their schema up front; :class:`repro.graph.builder.GraphBuilder` can
+validate a graph against it, and the miner uses it to prune pattern growth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import SchemaError
+from repro.graph.typed_graph import TypedGraph
+
+
+def _norm_pair(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+class GraphSchema:
+    """Declarative description of a heterogeneous graph's type structure.
+
+    Parameters
+    ----------
+    types:
+        The node types T.
+    edge_pairs:
+        Unordered pairs of types that edges may connect.  Pairs may
+        repeat a type (e.g. ``("user", "user")`` for friendships).
+
+    Examples
+    --------
+    >>> schema = GraphSchema(
+    ...     types=["user", "school"],
+    ...     edge_pairs=[("user", "school")],
+    ... )
+    >>> schema.allows_edge("school", "user")
+    True
+    >>> schema.allows_edge("user", "user")
+    False
+    """
+
+    def __init__(
+        self,
+        types: Iterable[str],
+        edge_pairs: Iterable[tuple[str, str]],
+    ):
+        self._types = frozenset(types)
+        if not self._types:
+            raise SchemaError("schema must declare at least one type")
+        pairs = set()
+        for a, b in edge_pairs:
+            if a not in self._types or b not in self._types:
+                raise SchemaError(
+                    f"edge pair ({a!r}, {b!r}) references a type outside {sorted(self._types)}"
+                )
+            pairs.add(_norm_pair(a, b))
+        self._edge_pairs = frozenset(pairs)
+
+    @property
+    def types(self) -> frozenset[str]:
+        """The declared node types."""
+        return self._types
+
+    @property
+    def edge_pairs(self) -> frozenset[tuple[str, str]]:
+        """The declared (sorted) edge type pairs."""
+        return self._edge_pairs
+
+    def has_type(self, node_type: str) -> bool:
+        """True iff ``node_type`` is declared."""
+        return node_type in self._types
+
+    def allows_edge(self, type_a: str, type_b: str) -> bool:
+        """True iff an edge may connect nodes of the two types."""
+        return _norm_pair(type_a, type_b) in self._edge_pairs
+
+    def validate_graph(self, graph: TypedGraph) -> None:
+        """Raise :class:`SchemaError` if the graph violates this schema."""
+        for node in graph.nodes():
+            node_type = graph.node_type(node)
+            if node_type not in self._types:
+                raise SchemaError(
+                    f"node {node!r} has undeclared type {node_type!r}"
+                )
+        for u, v in graph.edges():
+            pair = graph.edge_type_pair(u, v)
+            if pair not in self._edge_pairs:
+                raise SchemaError(
+                    f"edge ({u!r}, {v!r}) connects disallowed type pair {pair}"
+                )
+
+    @classmethod
+    def infer(cls, graph: TypedGraph) -> "GraphSchema":
+        """Infer the schema actually realised by a graph."""
+        if graph.num_nodes == 0:
+            raise SchemaError("cannot infer a schema from an empty graph")
+        return cls(types=graph.types, edge_pairs=graph.observed_type_pairs())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphSchema):
+            return NotImplemented
+        return self._types == other._types and self._edge_pairs == other._edge_pairs
+
+    def __repr__(self) -> str:
+        return (
+            f"<GraphSchema: {len(self._types)} types, "
+            f"{len(self._edge_pairs)} edge pairs>"
+        )

@@ -1,0 +1,73 @@
+"""Dataset statistics in the style of the paper's Table II.
+
+:func:`graph_statistics` summarises a typed graph (node/edge/type counts,
+per-type breakdown, degree distribution moments); Table II of the paper
+additionally reports the number of mined metagraphs and labelled queries,
+which :mod:`repro.experiments.table2` joins in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.typed_graph import TypedGraph
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics of a typed graph."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_types: int
+    nodes_per_type: dict[str, int] = field(default_factory=dict)
+    mean_degree: float = 0.0
+    max_degree: int = 0
+    median_degree: float = 0.0
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten into a report row (Table II columns first)."""
+        return {
+            "dataset": self.name,
+            "#Nodes": self.num_nodes,
+            "#Edges": self.num_edges,
+            "#Types": self.num_types,
+            "mean degree": round(self.mean_degree, 2),
+            "max degree": self.max_degree,
+        }
+
+
+def graph_statistics(graph: TypedGraph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for a graph."""
+    degrees = np.array([graph.degree(node) for node in graph.nodes()], dtype=float)
+    per_type = {t: graph.count_type(t) for t in sorted(graph.types)}
+    if degrees.size == 0:
+        return GraphStatistics(
+            name=graph.name,
+            num_nodes=0,
+            num_edges=0,
+            num_types=0,
+        )
+    return GraphStatistics(
+        name=graph.name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_types=len(per_type),
+        nodes_per_type=per_type,
+        mean_degree=float(degrees.mean()),
+        max_degree=int(degrees.max()),
+        median_degree=float(np.median(degrees)),
+    )
+
+
+def degree_histogram(graph: TypedGraph, node_type: str | None = None) -> dict[int, int]:
+    """Histogram of node degrees, optionally restricted to one type."""
+    nodes = graph.nodes_of_type(node_type) if node_type else list(graph.nodes())
+    hist: dict[int, int] = {}
+    for node in nodes:
+        d = graph.degree(node)
+        hist[d] = hist.get(d, 0) + 1
+    return dict(sorted(hist.items()))

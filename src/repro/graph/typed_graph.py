@@ -1,0 +1,297 @@
+"""Typed object graph: the heterogeneous graph substrate of the paper.
+
+The paper (Sect. II-A) models data as an undirected *typed object graph*
+``G = (V, E)`` with a type mapping ``tau: V -> T``.  :class:`TypedGraph`
+implements this with:
+
+- arbitrary hashable node ids, each with a mandatory string type;
+- undirected, unweighted, simple edges (no self-loops, no multi-edges);
+- O(1) adjacency and typed-adjacency lookups, the workhorse of the
+  subgraph matching engines in :mod:`repro.matching`.
+
+The class is deliberately minimal and append-only plus node/edge removal;
+mutation invalidates nothing because all indexes are maintained eagerly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.exceptions import (
+    DuplicateNodeError,
+    EdgeError,
+    NodeNotFoundError,
+)
+
+NodeId = Hashable
+
+
+def edge_key(u: NodeId, v: NodeId) -> tuple[NodeId, NodeId]:
+    """Return the canonical (sorted) representation of an undirected edge.
+
+    Node ids of mixed, non-comparable Python types are ordered by their
+    ``repr`` so that the key is deterministic.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class TypedGraph:
+    """An undirected heterogeneous graph with typed nodes.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name used in reports and experiment output.
+
+    Examples
+    --------
+    >>> g = TypedGraph(name="toy")
+    >>> g.add_node("Alice", "user")
+    >>> g.add_node("College A", "school")
+    >>> g.add_edge("Alice", "College A")
+    >>> g.node_type("Alice")
+    'user'
+    >>> sorted(g.neighbors("Alice"))
+    ['College A']
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._types: dict[NodeId, str] = {}
+        self._adj: dict[NodeId, set[NodeId]] = {}
+        # typed adjacency: node -> type -> set of neighbours of that type
+        self._typed_adj: dict[NodeId, dict[str, set[NodeId]]] = {}
+        self._nodes_by_type: dict[str, set[NodeId]] = defaultdict(set)
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, node_type: str) -> None:
+        """Add a node with the given type.
+
+        Re-adding an existing node with the *same* type is a no-op;
+        re-adding with a different type raises :class:`DuplicateNodeError`.
+        """
+        if not isinstance(node_type, str) or not node_type:
+            raise EdgeError(f"node type must be a non-empty string, got {node_type!r}")
+        existing = self._types.get(node)
+        if existing is not None:
+            if existing != node_type:
+                raise DuplicateNodeError(node, existing, node_type)
+            return
+        self._types[node] = node_type
+        self._adj[node] = set()
+        self._typed_adj[node] = defaultdict(set)
+        self._nodes_by_type[node_type].add(node)
+
+    def add_edge(self, u: NodeId, v: NodeId) -> None:
+        """Add an undirected edge between two existing nodes.
+
+        Self-loops are rejected; adding an existing edge is a no-op.
+        """
+        if u == v:
+            raise EdgeError(f"self-loops are not allowed (node {u!r})")
+        for endpoint in (u, v):
+            if endpoint not in self._types:
+                raise NodeNotFoundError(endpoint)
+        if v in self._adj[u]:
+            return
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._typed_adj[u][self._types[v]].add(v)
+        self._typed_adj[v][self._types[u]].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove an undirected edge; raises :class:`EdgeError` if absent."""
+        if u not in self._types or v not in self._types:
+            raise NodeNotFoundError(u if u not in self._types else v)
+        if v not in self._adj[u]:
+            raise EdgeError(f"edge ({u!r}, {v!r}) is not in the graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._typed_adj[u][self._types[v]].discard(v)
+        self._typed_adj[v][self._types[u]].discard(u)
+        self._num_edges -= 1
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove a node and all its incident edges."""
+        if node not in self._types:
+            raise NodeNotFoundError(node)
+        for neighbor in list(self._adj[node]):
+            self.remove_edge(node, neighbor)
+        node_type = self._types.pop(node)
+        del self._adj[node]
+        del self._typed_adj[node]
+        self._nodes_by_type[node_type].discard(node)
+        if not self._nodes_by_type[node_type]:
+            del self._nodes_by_type[node_type]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._types)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes |V|."""
+        return len(self._types)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges |E|."""
+        return self._num_edges
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over all node ids."""
+        return iter(self._types)
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
+        """Iterate over each undirected edge exactly once (canonical order)."""
+        seen: set[tuple[NodeId, NodeId]] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def node_type(self, node: NodeId) -> str:
+        """Return the type of ``node``."""
+        try:
+            return self._types[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """True iff the undirected edge (u, v) exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: NodeId) -> frozenset[NodeId]:
+        """All neighbours of ``node`` (as an immutable snapshot view)."""
+        try:
+            return frozenset(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighbors_of_type(self, node: NodeId, node_type: str) -> frozenset[NodeId]:
+        """Neighbours of ``node`` whose type equals ``node_type``."""
+        try:
+            typed = self._typed_adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        return frozenset(typed.get(node_type, ()))
+
+    def degree(self, node: NodeId) -> int:
+        """Number of neighbours of ``node``."""
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def typed_degree(self, node: NodeId, node_type: str) -> int:
+        """Number of neighbours of ``node`` with the given type."""
+        try:
+            typed = self._typed_adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        return len(typed.get(node_type, ()))
+
+    def typed_adjacency(self, node: NodeId) -> dict[str, set[NodeId]]:
+        """Internal typed adjacency of ``node`` — **read-only** access.
+
+        Returns the live index (no copy) so that the matching engines can
+        iterate neighbours by type without per-call allocation.  Callers
+        must not mutate the returned mapping or its sets.
+        """
+        try:
+            return self._typed_adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def adjacency(self, node: NodeId) -> set[NodeId]:
+        """Internal neighbour set of ``node`` — **read-only** access."""
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    @property
+    def types(self) -> frozenset[str]:
+        """The set of node types T present in the graph."""
+        return frozenset(self._nodes_by_type)
+
+    def nodes_of_type(self, node_type: str) -> frozenset[NodeId]:
+        """All nodes whose type equals ``node_type`` (empty if unknown)."""
+        return frozenset(self._nodes_by_type.get(node_type, ()))
+
+    def count_type(self, node_type: str) -> int:
+        """Number of nodes of the given type."""
+        return len(self._nodes_by_type.get(node_type, ()))
+
+    def edge_type_pair(self, u: NodeId, v: NodeId) -> tuple[str, str]:
+        """Sorted (type_u, type_v) pair for an edge's endpoints."""
+        tu, tv = self.node_type(u), self.node_type(v)
+        return (tu, tv) if tu <= tv else (tv, tu)
+
+    def observed_type_pairs(self) -> frozenset[tuple[str, str]]:
+        """All sorted type pairs that occur on at least one edge.
+
+        The mining subsystem uses this to restrict pattern growth to
+        type pairs that can actually match.
+        """
+        pairs = {self.edge_type_pair(u, v) for u, v in self.edges()}
+        return frozenset(pairs)
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Iterable[NodeId]) -> "TypedGraph":
+        """Return the subgraph induced on ``nodes`` (copies structure)."""
+        node_list = list(nodes)
+        sub = TypedGraph(name=f"{self.name}#induced")
+        for node in node_list:
+            sub.add_node(node, self.node_type(node))
+        node_set = set(node_list)
+        for node in node_list:
+            for nbr in self._adj[node]:
+                if nbr in node_set and not sub.has_edge(node, nbr):
+                    sub.add_edge(node, nbr)
+        return sub
+
+    def copy(self) -> "TypedGraph":
+        """Deep structural copy (node ids are shared, structure is not)."""
+        dup = TypedGraph(name=self.name)
+        for node, node_type in self._types.items():
+            dup.add_node(node, node_type)
+        for u, v in self.edges():
+            dup.add_edge(u, v)
+        return dup
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypedGraph):
+            return NotImplemented
+        if self._types != other._types:
+            return False
+        return {edge_key(u, v) for u, v in self.edges()} == {
+            edge_key(u, v) for u, v in other.edges()
+        }
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<TypedGraph{label}: {self.num_nodes} nodes, "
+            f"{self.num_edges} edges, {len(self._nodes_by_type)} types>"
+        )

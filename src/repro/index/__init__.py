@@ -1,0 +1,30 @@
+"""Instance indexing and metagraph vectors (Eq. 1–2)."""
+
+from repro.index.instance_index import (
+    InstanceIndex,
+    MetagraphCounts,
+    match_and_count,
+)
+from repro.index.transform import (
+    TRANSFORMS,
+    Transform,
+    get_transform,
+    identity,
+    log1p,
+    sqrt,
+)
+from repro.index.vectors import MetagraphVectors, build_vectors
+
+__all__ = [
+    "TRANSFORMS",
+    "InstanceIndex",
+    "MetagraphCounts",
+    "MetagraphVectors",
+    "Transform",
+    "build_vectors",
+    "get_transform",
+    "identity",
+    "log1p",
+    "match_and_count",
+    "sqrt",
+]

@@ -1,0 +1,121 @@
+"""Instance counting for metagraph vectors (offline subproblem 2).
+
+For each metagraph we need, per Eq. 1–2:
+
+- ``pair_counts[(x, y)]`` — the number of instances containing both
+  ``x`` and ``y`` at symmetric anchor positions (unordered pair, each
+  instance counted once per distinct pair it realises);
+- ``node_counts[x]`` — the number of instances containing ``x`` at a
+  symmetric anchor position (each instance counted once per distinct
+  node).
+
+The symmetric-position pairs of an instance are derived from one witness
+embedding; they are independent of which embedding is used because the
+set of symmetric pattern-node pairs is invariant under automorphisms
+(conjugating the witness involution by an automorphism gives another
+involutive automorphism).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.graph.typed_graph import NodeId, TypedGraph
+from repro.matching.base import MatcherProtocol, deduplicate_instances
+from repro.matching.symiso import SymISOMatcher
+from repro.metagraph.metagraph import Metagraph
+from repro.metagraph.symmetry import anchor_symmetric_pairs
+
+Pair = tuple[NodeId, NodeId]
+
+
+def _pair_key(x: NodeId, y: NodeId) -> Pair:
+    try:
+        return (x, y) if x <= y else (y, x)  # type: ignore[operator]
+    except TypeError:
+        return (x, y) if repr(x) <= repr(y) else (y, x)
+
+
+@dataclass
+class MetagraphCounts:
+    """Eq. 1–2 counts for one metagraph."""
+
+    num_instances: int = 0
+    node_counts: Counter = field(default_factory=Counter)
+    pair_counts: Counter = field(default_factory=Counter)
+
+
+def match_and_count(
+    graph: TypedGraph,
+    metagraph: Metagraph,
+    anchor_type: str = "user",
+    matcher: MatcherProtocol | None = None,
+) -> MetagraphCounts:
+    """Match a metagraph and accumulate its Eq. 1–2 counts.
+
+    Instances are streamed (deduplicated embeddings) and only the counts
+    are retained, so peak memory is the per-metagraph instance set.
+    """
+    engine = matcher if matcher is not None else SymISOMatcher()
+    sym_pairs = anchor_symmetric_pairs(metagraph, anchor_type)
+    counts = MetagraphCounts()
+    if not sym_pairs:
+        # The metagraph has no symmetric anchor pair: it cannot
+        # contribute to anchor-anchor proximity (Eq. 1 is empty).
+        for _ in deduplicate_instances(engine.find_embeddings(graph, metagraph)):
+            counts.num_instances += 1
+        return counts
+    ordered = sorted(metagraph.nodes())
+    position = {u: i for i, u in enumerate(ordered)}
+    for instance in deduplicate_instances(engine.find_embeddings(graph, metagraph)):
+        counts.num_instances += 1
+        emb = instance.embedding  # indexed by sorted pattern node
+        pairs_here = {
+            _pair_key(emb[position[u]], emb[position[v]]) for u, v in sym_pairs
+        }
+        nodes_here = {n for pair in pairs_here for n in pair}
+        for pair in pairs_here:
+            counts.pair_counts[pair] += 1
+        for node in nodes_here:
+            counts.node_counts[node] += 1
+    return counts
+
+
+class InstanceIndex:
+    """Per-metagraph counts for a catalog, filled incrementally.
+
+    Dual-stage training matches only a subset of the catalog; the index
+    records which metagraph ids have been matched so downstream code can
+    distinguish "zero count" from "never matched".
+    """
+
+    def __init__(self, catalog_size: int, anchor_type: str = "user"):
+        self.catalog_size = catalog_size
+        self.anchor_type = anchor_type
+        self._counts: dict[int, MetagraphCounts] = {}
+
+    def add(self, mg_id: int, counts: MetagraphCounts) -> None:
+        """Record counts for a metagraph id."""
+        if not 0 <= mg_id < self.catalog_size:
+            raise IndexError(f"metagraph id {mg_id} outside catalog of size {self.catalog_size}")
+        self._counts[mg_id] = counts
+
+    def matched_ids(self) -> frozenset[int]:
+        """Ids whose instances have been computed."""
+        return frozenset(self._counts)
+
+    def is_matched(self, mg_id: int) -> bool:
+        """True iff the metagraph has been matched."""
+        return mg_id in self._counts
+
+    def counts_for(self, mg_id: int) -> MetagraphCounts:
+        """Counts for a matched metagraph id (KeyError if unmatched)."""
+        return self._counts[mg_id]
+
+    def num_instances(self, mg_id: int) -> int:
+        """|I(M)| for a matched metagraph id."""
+        return self._counts[mg_id].num_instances
+
+    def __len__(self) -> int:
+        return len(self._counts)

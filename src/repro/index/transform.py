@@ -1,0 +1,46 @@
+"""Count transforms for metagraph vectors.
+
+Sect. II-A: "More generally, we can further transform these vectors,
+such as applying logarithm to the counts."  Transforms are applied when
+sparse counts are materialised into dense vectors; they must be
+monotone, map 0 to 0 (sparsity-preserving) and be non-negative.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+Transform = Callable[[float], float]
+
+
+def identity(count: float) -> float:
+    """Raw counts."""
+    return float(count)
+
+
+def log1p(count: float) -> float:
+    """log(1 + count): damps heavy-tailed instance counts."""
+    return math.log1p(count)
+
+
+def sqrt(count: float) -> float:
+    """Square root: a milder damping than log1p."""
+    return math.sqrt(count)
+
+
+TRANSFORMS: dict[str, Transform] = {
+    "identity": identity,
+    "log1p": log1p,
+    "sqrt": sqrt,
+}
+
+
+def get_transform(name: str) -> Transform:
+    """Look up a transform by name (KeyError lists the options)."""
+    try:
+        return TRANSFORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown transform {name!r}; available: {sorted(TRANSFORMS)}"
+        ) from None

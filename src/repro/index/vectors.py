@@ -1,0 +1,219 @@
+"""Metagraph vectors m_x and m_xy (Eq. 1–2): the proximity feature store.
+
+:class:`MetagraphVectors` holds the sparse Eq. 1–2 counts for every
+anchor node and anchor pair, materialises them into dense numpy vectors
+on demand (with an optional count transform), and answers the two
+queries the learning and online phases need:
+
+- ``pair_vector(x, y)`` / ``node_vector(x)`` — the m_xy / m_x columns;
+- ``partners(x)`` — all nodes sharing at least one metagraph instance
+  with ``x``, which is exactly the candidate set with non-zero MGP
+  numerator for query ``x``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable, Iterable
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import CatalogMismatchError
+from repro.graph.typed_graph import NodeId, TypedGraph
+from repro.index.instance_index import (
+    InstanceIndex,
+    MetagraphCounts,
+    _pair_key,
+    match_and_count,
+)
+from repro.index.transform import Transform, identity
+from repro.matching.base import MatcherProtocol
+from repro.metagraph.catalog import MetagraphCatalog
+
+
+class MetagraphVectors:
+    """Sparse m_x / m_xy store over a fixed metagraph catalog."""
+
+    def __init__(
+        self,
+        catalog_size: int,
+        anchor_type: str = "user",
+        transform: Transform = identity,
+    ):
+        self.catalog_size = catalog_size
+        self.anchor_type = anchor_type
+        self.transform = transform
+        self._node: dict[NodeId, dict[int, int]] = {}
+        self._pair: dict[tuple[NodeId, NodeId], dict[int, int]] = {}
+        self._partners: dict[NodeId, set[NodeId]] = {}
+        self._matched: set[int] = set()
+        self._node_cache: dict[NodeId, np.ndarray] = {}
+        self._pair_cache: dict[tuple[NodeId, NodeId], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_counts(self, mg_id: int, counts: MetagraphCounts) -> None:
+        """Fold one metagraph's Eq. 1–2 counts into the store."""
+        if not 0 <= mg_id < self.catalog_size:
+            raise CatalogMismatchError(
+                f"metagraph id {mg_id} outside catalog of size {self.catalog_size}"
+            )
+        if mg_id in self._matched:
+            raise CatalogMismatchError(f"metagraph id {mg_id} already added")
+        self._matched.add(mg_id)
+        for node, count in counts.node_counts.items():
+            self._node.setdefault(node, {})[mg_id] = count
+        for (x, y), count in counts.pair_counts.items():
+            self._pair.setdefault((x, y), {})[mg_id] = count
+            self._partners.setdefault(x, set()).add(y)
+            self._partners.setdefault(y, set()).add(x)
+        self._node_cache.clear()
+        self._pair_cache.clear()
+
+    @property
+    def matched_ids(self) -> frozenset[int]:
+        """Metagraph ids whose counts are present."""
+        return frozenset(self._matched)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def node_vector(self, x: NodeId) -> np.ndarray:
+        """m_x as a dense float vector of length |M| (Eq. 2)."""
+        cached = self._node_cache.get(x)
+        if cached is not None:
+            return cached
+        vec = np.zeros(self.catalog_size, dtype=float)
+        for mg_id, count in self._node.get(x, {}).items():
+            vec[mg_id] = self.transform(count)
+        vec.setflags(write=False)
+        self._node_cache[x] = vec
+        return vec
+
+    def pair_vector(self, x: NodeId, y: NodeId) -> np.ndarray:
+        """m_xy as a dense float vector of length |M| (Eq. 1)."""
+        key = _pair_key(x, y)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        vec = np.zeros(self.catalog_size, dtype=float)
+        for mg_id, count in self._pair.get(key, {}).items():
+            vec[mg_id] = self.transform(count)
+        vec.setflags(write=False)
+        self._pair_cache[key] = vec
+        return vec
+
+    def partners(self, x: NodeId) -> frozenset[NodeId]:
+        """Nodes co-occurring with ``x`` in at least one instance."""
+        return frozenset(self._partners.get(x, ()))
+
+    def nodes_with_counts(self) -> frozenset[NodeId]:
+        """All anchor nodes with a non-zero m_x."""
+        return frozenset(self._node)
+
+    def raw_pair_counts(self, x: NodeId, y: NodeId) -> dict[int, int]:
+        """Untransformed sparse counts for a pair (testing/debugging)."""
+        return dict(self._pair.get(_pair_key(x, y), {}))
+
+    def verify_catalog(self, catalog: MetagraphCatalog) -> None:
+        """Raise unless the store matches the catalog's id space."""
+        catalog.verify_compatible(self.catalog_size)
+
+    # ------------------------------------------------------------------
+    # persistence: the offline phase is expensive, the artefact small
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist raw counts to JSON (transform is re-applied on load).
+
+        Only string-keyed node ids round-trip; the transform itself is
+        not serialised — pass the same one to :meth:`load`.
+        """
+        doc = {
+            "catalog_size": self.catalog_size,
+            "anchor_type": self.anchor_type,
+            "matched": sorted(self._matched),
+            "node": [
+                [node, sorted(counts.items())]
+                for node, counts in sorted(self._node.items(), key=lambda kv: repr(kv[0]))
+            ],
+            "pair": [
+                [list(pair), sorted(counts.items())]
+                for pair, counts in sorted(self._pair.items(), key=lambda kv: repr(kv[0]))
+            ],
+        }
+        Path(path).write_text(json.dumps(doc), encoding="utf-8")
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        transform: Transform = identity,
+    ) -> "MetagraphVectors":
+        """Restore a store saved by :meth:`save`."""
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        store = cls(
+            doc["catalog_size"],
+            anchor_type=doc["anchor_type"],
+            transform=transform,
+        )
+        store._matched = set(doc["matched"])
+        for node, counts in doc["node"]:
+            node = tuple(node) if isinstance(node, list) else node
+            store._node[node] = {int(k): v for k, v in counts}
+        for (x, y), counts in doc["pair"]:
+            x = tuple(x) if isinstance(x, list) else x
+            y = tuple(y) if isinstance(y, list) else y
+            store._pair[(x, y)] = {int(k): v for k, v in counts}
+            store._partners.setdefault(x, set()).add(y)
+            store._partners.setdefault(y, set()).add(x)
+        return store
+
+
+def build_vectors(
+    graph: TypedGraph,
+    catalog: MetagraphCatalog,
+    mg_ids: Iterable[int] | None = None,
+    matcher: MatcherProtocol | None = None,
+    transform: Transform = identity,
+    index: InstanceIndex | None = None,
+    vectors: MetagraphVectors | None = None,
+    on_metagraph: Callable[[int, float], None] | None = None,
+) -> tuple[MetagraphVectors, InstanceIndex]:
+    """Match metagraphs and build/extend the vector store.
+
+    Parameters
+    ----------
+    mg_ids:
+        Which catalog ids to match (default: all).  Dual-stage training
+        calls this twice — first with the seed ids, later with the
+        selected candidates — passing the same ``vectors``/``index`` to
+        extend them in place.
+    on_metagraph:
+        Optional callback ``(mg_id, seconds)`` invoked after each
+        metagraph is matched; the experiment harness uses it to record
+        per-metagraph matching cost (Table III, Fig. 8, Fig. 11).
+    """
+    store = vectors if vectors is not None else MetagraphVectors(
+        len(catalog), anchor_type=catalog.anchor_type, transform=transform
+    )
+    store.verify_catalog(catalog)
+    idx = index if index is not None else InstanceIndex(
+        len(catalog), anchor_type=catalog.anchor_type
+    )
+    ids = list(mg_ids) if mg_ids is not None else list(catalog.ids())
+    for mg_id in ids:
+        if idx.is_matched(mg_id):
+            continue
+        start = time.perf_counter()
+        counts = match_and_count(
+            graph, catalog[mg_id], anchor_type=catalog.anchor_type, matcher=matcher
+        )
+        elapsed = time.perf_counter() - start
+        idx.add(mg_id, counts)
+        store.add_counts(mg_id, counts)
+        if on_metagraph is not None:
+            on_metagraph(mg_id, elapsed)
+    return store, idx

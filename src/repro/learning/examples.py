@@ -1,0 +1,70 @@
+"""Training-example generation: pairwise ranking triplets Omega.
+
+Sect. V-A "Training and testing": from each training query ``q`` of the
+desired class, triplets ``(q, x, y)`` are generated such that ``q`` and
+``x`` belong to the class while ``q`` and ``y`` do not.  Sampling is
+seeded and uniform over the eligible (query, positive, negative)
+combinations.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.exceptions import TrainingDataError
+from repro.graph.typed_graph import NodeId
+from repro.learning.objective import Triplet
+
+LabelMap = Mapping[NodeId, frozenset[NodeId]]
+"""query node -> set of nodes in the desired class w.r.t. that query."""
+
+
+def generate_triplets(
+    queries: Sequence[NodeId],
+    labels: LabelMap,
+    universe: Iterable[NodeId],
+    num_examples: int,
+    seed: int = 0,
+) -> list[Triplet]:
+    """Sample ``num_examples`` triplets (q, x, y) from labelled queries.
+
+    Parameters
+    ----------
+    queries:
+        Training query nodes (each must have at least one positive).
+    labels:
+        Positives per query (class membership is symmetric in the paper,
+        but only the query->positives direction is needed here).
+    universe:
+        Candidate pool for negatives — all anchor-type nodes.
+    num_examples:
+        Size of Omega.
+    seed:
+        RNG seed; sampling is reproducible.
+    """
+    if num_examples <= 0:
+        raise TrainingDataError("num_examples must be positive")
+    rng = random.Random(seed)
+    pool = sorted(universe, key=repr)
+    usable: list[tuple[NodeId, list[NodeId], list[NodeId]]] = []
+    for q in queries:
+        positives = sorted(labels.get(q, frozenset()), key=repr)
+        positives = [x for x in positives if x != q]
+        if not positives:
+            continue
+        excluded = set(positives) | {q}
+        negatives = [y for y in pool if y not in excluded]
+        if negatives:
+            usable.append((q, positives, negatives))
+    if not usable:
+        raise TrainingDataError(
+            "no usable training queries (every query lacks positives or negatives)"
+        )
+    triplets: list[Triplet] = []
+    for _ in range(num_examples):
+        q, positives, negatives = rng.choice(usable)
+        x = rng.choice(positives)
+        y = rng.choice(negatives)
+        triplets.append((q, x, y))
+    return triplets

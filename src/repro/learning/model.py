@@ -1,0 +1,164 @@
+"""ProximityModel: the trained artefact answering online queries.
+
+Holds the learned weight vector, the vector store and the anchor node
+universe, and produces the descending-proximity ranking of Sect. II-B's
+online phase.  Ranking a query is a lookup, not a traversal: only the
+query's *partners* (nodes sharing at least one metagraph instance) can
+have non-zero proximity, so the candidate set is tiny relative to |V|.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import LearningError
+from repro.graph.typed_graph import NodeId
+from repro.index.vectors import MetagraphVectors
+from repro.learning.proximity import mgp
+
+
+class ProximityModel:
+    """A trained MGP model for one semantic class of proximity."""
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        vectors: MetagraphVectors,
+        name: str = "",
+    ):
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1 or len(weights) != vectors.catalog_size:
+            raise LearningError(
+                f"weight vector of length {weights.shape} does not match "
+                f"catalog size {vectors.catalog_size}"
+            )
+        if np.any(weights < 0):
+            raise LearningError("MGP weights must be non-negative (Def. 3)")
+        self.weights = weights
+        self.vectors = vectors
+        self.name = name
+
+    def proximity(self, x: NodeId, y: NodeId) -> float:
+        """pi(x, y; w*) for any two nodes."""
+        return mgp(self.vectors, x, y, self.weights)
+
+    def rank(
+        self,
+        query: NodeId,
+        universe: Iterable[NodeId] | None = None,
+        k: int | None = None,
+    ) -> list[tuple[NodeId, float]]:
+        """Nodes in descending proximity to ``query``.
+
+        ``universe`` bounds the result (e.g. all user nodes); when None,
+        only the query's partners are returned — every other node has
+        proximity exactly 0.  Ties are broken deterministically by node
+        repr.  The query itself is excluded.
+        """
+        candidates = self.vectors.partners(query)
+        scored = [
+            (node, self.proximity(query, node))
+            for node in candidates
+            if node != query
+        ]
+        if universe is not None:
+            rest = [
+                (node, 0.0)
+                for node in universe
+                if node != query and node not in candidates
+            ]
+            scored.extend(rest)
+        scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        return scored[:k] if k is not None else scored
+
+    def explain(
+        self, x: NodeId, y: NodeId, k: int = 5
+    ) -> list[tuple[int, float]]:
+        """Per-metagraph contributions to pi(x, y) — Fig. 1(b)'s
+        "result with explanation".
+
+        Returns up to ``k`` (metagraph id, contribution) pairs sorted by
+        contribution, where contribution ``i`` is
+        ``2 * w[i] * m_xy[i] / (m_x . w + m_y . w)`` — the summands of
+        Def. 3, so contributions add up to ``pi(x, y)``.
+        """
+        if x == y:
+            return []
+        m_xy = self.vectors.pair_vector(x, y)
+        denominator = float(
+            self.vectors.node_vector(x) @ self.weights
+            + self.vectors.node_vector(y) @ self.weights
+        )
+        if denominator <= 0.0:
+            return []
+        contributions = 2.0 * self.weights * m_xy / denominator
+        order = np.argsort(-contributions, kind="stable")
+        return [
+            (int(i), float(contributions[i]))
+            for i in order[:k]
+            if contributions[i] > 0.0
+        ]
+
+    def top_metagraphs(self, k: int = 10) -> list[tuple[int, float]]:
+        """The k highest-weight metagraph ids — the class's signature."""
+        order = np.argsort(-self.weights, kind="stable")[:k]
+        return [(int(i), float(self.weights[i])) for i in order]
+
+    # ------------------------------------------------------------------
+    # weight persistence (vectors are rebuilt from the graph, not saved)
+    # ------------------------------------------------------------------
+    def save_weights(self, path: str | Path) -> None:
+        """Persist the learned weights (JSON)."""
+        doc = {"name": self.name, "weights": self.weights.tolist()}
+        Path(path).write_text(json.dumps(doc), encoding="utf-8")
+
+    @classmethod
+    def load_weights(
+        cls, path: str | Path, vectors: MetagraphVectors
+    ) -> "ProximityModel":
+        """Restore a model from saved weights plus a rebuilt vector store."""
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(
+            np.asarray(doc["weights"], dtype=float),
+            vectors,
+            name=doc.get("name", ""),
+        )
+
+    def __repr__(self) -> str:
+        nonzero = int(np.sum(self.weights > 1e-6))
+        return (
+            f"<ProximityModel {self.name!r}: {len(self.weights)} metagraphs, "
+            f"{nonzero} with non-trivial weight>"
+        )
+
+
+def uniform_model(vectors: MetagraphVectors, name: str = "MGP-U") -> ProximityModel:
+    """MGP-U baseline: uniform weights over the matched metagraphs."""
+    weights = np.zeros(vectors.catalog_size)
+    matched = sorted(vectors.matched_ids)
+    if matched:
+        weights[matched] = 1.0
+    return ProximityModel(weights, vectors, name=name)
+
+
+def single_metagraph_model(
+    vectors: MetagraphVectors, mg_id: int, name: str = "MGP-B"
+) -> ProximityModel:
+    """A model that uses exactly one metagraph (MGP-B building block)."""
+    weights = np.zeros(vectors.catalog_size)
+    weights[mg_id] = 1.0
+    return ProximityModel(weights, vectors, name=name)
+
+
+def restrict_weights(
+    weights: np.ndarray, active_ids: Sequence[int]
+) -> np.ndarray:
+    """Zero out all weights except the given ids (returns a copy)."""
+    restricted = np.zeros_like(weights)
+    ids = list(active_ids)
+    restricted[ids] = weights[ids]
+    return restricted

@@ -1,0 +1,101 @@
+"""Shared matching machinery: instance semantics (Def. 2) and engine protocol.
+
+An *embedding* is an injective, type-preserving map ``phi`` from pattern
+nodes to graph nodes with ``(u, v) in E_M  <=>  (phi(u), phi(v)) in E``
+(induced semantics, per Def. 2 and the "subgraph induced by D" wording
+of Sect. IV-A).  An *instance* is the node set of an embedding — the
+subgraph it induces.  Several embeddings (one per automorphism of the
+pattern) map onto the same instance; :func:`deduplicate_instances`
+collapses them.
+
+Every engine in this package implements :class:`MatcherProtocol`:
+``find_embeddings`` yields raw embeddings, and the module-level helper
+:func:`find_instances` provides the instance view used by the index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.graph.typed_graph import NodeId, TypedGraph
+from repro.metagraph.metagraph import Metagraph
+
+Embedding = dict[int, NodeId]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One instance of a metagraph on a graph.
+
+    ``nodes`` identifies the instance (induced semantics: a node set
+    induces at most one subgraph); ``embedding`` is one witnessing map,
+    stored as a tuple indexed by pattern node.
+    """
+
+    nodes: frozenset[NodeId]
+    embedding: tuple[NodeId, ...]
+
+
+class MatcherProtocol(Protocol):
+    """Interface implemented by all matching engines."""
+
+    name: str
+
+    def find_embeddings(
+        self, graph: TypedGraph, metagraph: Metagraph
+    ) -> Iterator[Embedding]:
+        """Yield every (remaining) embedding of the metagraph on the graph.
+
+        Engines may skip embeddings that are automorphic images of ones
+        already yielded (SymISO does), but must cover every *instance*.
+        """
+        ...
+
+
+def is_valid_embedding(
+    graph: TypedGraph, metagraph: Metagraph, embedding: Embedding
+) -> bool:
+    """Check an embedding against Def. 2 (used by tests and debugging)."""
+    if len(embedding) != metagraph.size:
+        return False
+    images = list(embedding.values())
+    if len(set(images)) != len(images):
+        return False
+    for u, v in embedding.items():
+        if v not in graph or graph.node_type(v) != metagraph.node_type(u):
+            return False
+    for u in metagraph.nodes():
+        for w in range(u + 1, metagraph.size):
+            pattern_edge = metagraph.has_edge(u, w)
+            graph_edge = graph.has_edge(embedding[u], embedding[w])
+            if pattern_edge != graph_edge:
+                return False
+    return True
+
+
+def deduplicate_instances(embeddings: Iterable[Embedding]) -> Iterator[Instance]:
+    """Collapse embeddings into instances, yielding each node set once."""
+    seen: set[frozenset[NodeId]] = set()
+    for embedding in embeddings:
+        nodes = frozenset(embedding.values())
+        if nodes in seen:
+            continue
+        seen.add(nodes)
+        witness = tuple(embedding[u] for u in sorted(embedding))
+        yield Instance(nodes=nodes, embedding=witness)
+
+
+def find_instances(
+    matcher: MatcherProtocol, graph: TypedGraph, metagraph: Metagraph
+) -> list[Instance]:
+    """All instances I(M) of ``metagraph`` on ``graph`` via ``matcher``."""
+    return list(deduplicate_instances(matcher.find_embeddings(graph, metagraph)))
+
+
+def count_instances(
+    matcher: MatcherProtocol, graph: TypedGraph, metagraph: Metagraph
+) -> int:
+    """|I(M)| without retaining the instances."""
+    return sum(1 for _ in deduplicate_instances(matcher.find_embeddings(graph, metagraph)))

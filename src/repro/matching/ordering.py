@@ -1,0 +1,155 @@
+"""Matching orders: which pattern node to bind next.
+
+The search-space size of backtracking matching depends heavily on the
+node order (Sect. IV-C "Matching order").  This module implements the
+paper's estimated-instance-count ordering:
+
+    f(M^(i+1)) = f(M^(i)) * |I(<u, u'>)| / |I(u)|
+
+where ``|I(<u, u'>)|`` is the number of graph edges whose endpoint types
+match the pattern edge and ``|I(u)|`` the number of graph nodes of
+``u``'s type.  At each step the edge minimising the estimate is added;
+node order is the order of first appearance.
+
+A rarest-type-first static order (QuickSI-flavoured) and a seeded random
+order (for SymISO-R) are also provided.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.graph.typed_graph import TypedGraph
+from repro.metagraph.metagraph import Metagraph
+
+
+def edge_type_pair_counts(graph: TypedGraph) -> dict[tuple[str, str], int]:
+    """Number of graph edges per sorted endpoint-type pair."""
+    counts: Counter[tuple[str, str]] = Counter()
+    for u, v in graph.edges():
+        counts[graph.edge_type_pair(u, v)] += 1
+    return dict(counts)
+
+
+class GraphCardinalities:
+    """Cached |I(t)| and |I(<t1, t2>)| statistics for one graph."""
+
+    def __init__(self, graph: TypedGraph):
+        self.node_counts = {t: graph.count_type(t) for t in graph.types}
+        self.edge_counts = edge_type_pair_counts(graph)
+
+    def nodes_of(self, node_type: str) -> int:
+        """|I(t)|: number of graph nodes of the given type."""
+        return self.node_counts.get(node_type, 0)
+
+    def edges_of(self, type_a: str, type_b: str) -> int:
+        """|I(<t1,t2>)|: graph edges whose endpoint types match."""
+        pair = (type_a, type_b) if type_a <= type_b else (type_b, type_a)
+        return self.edge_counts.get(pair, 0)
+
+
+def estimated_cost_order(
+    graph: TypedGraph,
+    metagraph: Metagraph,
+    cardinalities: GraphCardinalities | None = None,
+) -> list[int]:
+    """The paper's f(M)-minimising node order (Sect. IV-C).
+
+    Greedy: start from the pattern edge with the fewest matching graph
+    edges; repeatedly extend by the frontier edge whose selectivity
+    ``|I(<u,u'>)| / |I(u)|`` is smallest.  Every prefix of the returned
+    order induces a connected sub-pattern.
+    """
+    stats = cardinalities or GraphCardinalities(graph)
+    n = metagraph.size
+    if n == 1:
+        return [0]
+
+    def edge_cost(u: int, v: int) -> float:
+        return stats.edges_of(metagraph.node_type(u), metagraph.node_type(v))
+
+    first_edge = min(metagraph.edges, key=lambda e: (edge_cost(*e), e))
+    # orient the first edge: bind the rarer-type endpoint first
+    u0, v0 = first_edge
+    if stats.nodes_of(metagraph.node_type(v0)) < stats.nodes_of(metagraph.node_type(u0)):
+        u0, v0 = v0, u0
+    order = [u0, v0]
+    in_order = {u0, v0}
+    while len(order) < n:
+        best: tuple[float, int, int] | None = None
+        for u in order:
+            for v in metagraph.neighbors(u):
+                if v in in_order:
+                    continue
+                denom = max(1, stats.nodes_of(metagraph.node_type(u)))
+                selectivity = edge_cost(u, v) / denom
+                key = (selectivity, v, u)
+                if best is None or key < best:
+                    best = key
+        assert best is not None  # metagraphs are connected
+        order.append(best[1])
+        in_order.add(best[1])
+    return order
+
+
+def rarest_type_order(graph: TypedGraph, metagraph: Metagraph) -> list[int]:
+    """Static connected order starting from the rarest-type node.
+
+    QuickSI-flavoured: the start node has the fewest candidate graph
+    nodes; ties and subsequent choices prefer rarer types, then higher
+    pattern degree (more constraints earlier).
+    """
+    n = metagraph.size
+
+    def rarity(u: int) -> tuple[int, int, int]:
+        return (graph.count_type(metagraph.node_type(u)), -metagraph.degree(u), u)
+
+    start = min(range(n), key=rarity)
+    order = [start]
+    in_order = {start}
+    while len(order) < n:
+        frontier = {
+            v
+            for u in order
+            for v in metagraph.neighbors(u)
+            if v not in in_order
+        }
+        nxt = min(frontier, key=rarity)
+        order.append(nxt)
+        in_order.add(nxt)
+    return order
+
+
+def random_connected_order(
+    metagraph: Metagraph, rng: random.Random
+) -> list[int]:
+    """A random order whose every prefix is connected (for SymISO-R)."""
+    n = metagraph.size
+    start = rng.randrange(n)
+    order = [start]
+    in_order = {start}
+    while len(order) < n:
+        frontier = sorted(
+            v
+            for u in order
+            for v in metagraph.neighbors(u)
+            if v not in in_order
+        )
+        nxt = rng.choice(frontier)
+        order.append(nxt)
+        in_order.add(nxt)
+    return order
+
+
+def component_order_from_node_order(
+    node_order: list[int], components: tuple[tuple[int, ...], ...]
+) -> list[int]:
+    """Order component indexes by the first appearance of any member node.
+
+    Implements "when a node of a component S is chosen, we select S as
+    the next component to match" (Sect. IV-C).
+    """
+    position = {node: i for i, node in enumerate(node_order)}
+    first_seen = [min(position[n] for n in comp) for comp in components]
+    return sorted(range(len(components)), key=lambda c: first_seen[c])

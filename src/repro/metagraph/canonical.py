@@ -1,0 +1,92 @@
+"""Canonical labelling of metagraphs for isomorphism-invariant identity.
+
+Two metagraphs that differ only in node numbering describe the same
+pattern.  The miner (:mod:`repro.mining`) must deduplicate patterns, and
+the structural-similarity code compares patterns up to isomorphism;
+both rely on :func:`canonical_form`.
+
+Metagraphs are tiny (the paper restricts them to at most 5 nodes), so we
+use an exact scheme: enumerate all type-respecting relabellings whose
+resulting type sequence is sorted, and take the lexicographically
+smallest ``(types, edges)`` encoding.  Type-class pruning keeps the
+search at worst ``prod_t m_t!`` for type multiplicities ``m_t``, which is
+trivially small for patterns of this size.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.metagraph.metagraph import Edge, Metagraph
+
+CanonicalForm = tuple[tuple[str, ...], tuple[Edge, ...]]
+
+
+def _grouped_permutations(metagraph: Metagraph):
+    """Yield node permutations mapping old ids onto type-sorted positions.
+
+    Positions are assigned so that the permuted type sequence equals the
+    sorted type sequence; only assignments within each type class vary.
+    """
+    n = metagraph.size
+    order = sorted(range(n), key=lambda i: metagraph.node_type(i))
+    # positions (in the canonical layout) available to each type class
+    slots_by_type: dict[str, list[int]] = {}
+    for pos, old in enumerate(order):
+        slots_by_type.setdefault(metagraph.node_type(old), []).append(pos)
+    type_classes = sorted(slots_by_type)
+    members = {t: metagraph.nodes_of_type(t) for t in type_classes}
+
+    def expand(class_idx: int, mapping: dict[int, int]):
+        if class_idx == len(type_classes):
+            yield [mapping[i] for i in range(n)]
+            return
+        t = type_classes[class_idx]
+        slots = slots_by_type[t]
+        for perm in permutations(slots):
+            next_mapping = dict(mapping)
+            for node, slot in zip(members[t], perm):
+                next_mapping[node] = slot
+            yield from expand(class_idx + 1, next_mapping)
+
+    yield from expand(0, {})
+
+
+def canonical_form(metagraph: Metagraph) -> CanonicalForm:
+    """The canonical ``(types, edges)`` encoding of a metagraph.
+
+    Invariant under any relabelling of the metagraph's nodes:
+    ``canonical_form(m) == canonical_form(m.relabeled(p))`` for every
+    permutation ``p``.
+    """
+    best: CanonicalForm | None = None
+    for mapping in _grouped_permutations(metagraph):
+        types = [""] * metagraph.size
+        for old, new in enumerate(mapping):
+            types[new] = metagraph.node_type(old)
+        edges = tuple(
+            sorted(
+                (mapping[u], mapping[v]) if mapping[u] < mapping[v] else (mapping[v], mapping[u])
+                for u, v in metagraph.edges
+            )
+        )
+        candidate = (tuple(types), edges)
+        if best is None or candidate < best:
+            best = candidate
+    assert best is not None  # metagraphs are non-empty
+    return best
+
+
+def canonicalize(metagraph: Metagraph) -> Metagraph:
+    """Return the canonically labelled copy of a metagraph."""
+    types, edges = canonical_form(metagraph)
+    return Metagraph(types, edges, name=metagraph.name)
+
+
+def are_isomorphic(a: Metagraph, b: Metagraph) -> bool:
+    """True iff two metagraphs are isomorphic as typed graphs."""
+    if a.size != b.size or a.num_edges != b.num_edges:
+        return False
+    if a.type_multiset != b.type_multiset:
+        return False
+    return canonical_form(a) == canonical_form(b)

@@ -1,0 +1,99 @@
+"""Human-readable one-line descriptions of metagraphs.
+
+Learned weight vectors are only useful to a person if the heavy
+metagraphs can be read back as structures ("two users sharing a school
+and a major").  :func:`describe` renders the common shapes the way the
+paper's Fig. 2 captions do, falling back to an explicit type/edge
+listing for unusual patterns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.metagraph.metagraph import Metagraph
+from repro.metagraph.symmetry import anchor_symmetric_pairs
+
+
+def _fmt_types(types: list[str]) -> str:
+    counts = Counter(types)
+    parts = []
+    for name in sorted(counts):
+        parts.append(name if counts[name] == 1 else f"{counts[name]}x {name}")
+    return ", ".join(parts)
+
+
+def describe(metagraph: Metagraph, anchor_type: str = "user") -> str:
+    """A one-line English description of a metagraph.
+
+    >>> from repro.metagraph.metagraph import Metagraph, metapath
+    >>> describe(metapath("user", "address", "user"))
+    'two users sharing an address'
+    >>> describe(Metagraph(["user", "school", "major", "user"],
+    ...                    [(0, 1), (0, 2), (3, 1), (3, 2)]))
+    'two users sharing a school and a major'
+    """
+    anchors = metagraph.nodes_of_type(anchor_type)
+    others = [i for i in metagraph.nodes() if i not in anchors]
+    # the paper's staple: two anchors co-owning every other node
+    if len(anchors) == 2 and others:
+        a, b = anchors
+        shared = [
+            i
+            for i in others
+            if metagraph.has_edge(a, i) and metagraph.has_edge(b, i)
+        ]
+        if len(shared) == len(others) and not metagraph.has_edge(a, b):
+            names = [metagraph.node_type(i) for i in shared]
+            listing = " and ".join(
+                f"{'an' if n[0] in 'aeiou' else 'a'} {n}" for n in sorted(names)
+            )
+            return f"two {anchor_type}s sharing {listing}"
+        if len(shared) == len(others) and metagraph.has_edge(a, b):
+            names = sorted(metagraph.node_type(i) for i in shared)
+            listing = " and ".join(names)
+            return f"two connected {anchor_type}s sharing {listing}"
+    if metagraph.is_path:
+        chain = "-".join(metagraph.types[i] for i in _path_order(metagraph))
+        return f"path {chain}"
+    return (
+        f"{_fmt_types(list(metagraph.types))} with edges "
+        f"{sorted(metagraph.edges)}"
+    )
+
+
+def _path_order(metagraph: Metagraph) -> list[int]:
+    """Node order along a metapath (endpoints have degree 1)."""
+    if metagraph.size == 1:
+        return [0]
+    start = next(i for i in metagraph.nodes() if metagraph.degree(i) == 1)
+    order = [start]
+    previous = None
+    current = start
+    while len(order) < metagraph.size:
+        nxt = next(i for i in metagraph.neighbors(current) if i != previous)
+        order.append(nxt)
+        previous, current = current, nxt
+    return order
+
+
+def describe_weights(
+    catalog, weights, anchor_type: str = "user", k: int = 5, min_weight: float = 0.05
+) -> list[str]:
+    """The top-k learned metagraphs as readable lines (for reports)."""
+    import numpy as np
+
+    order = np.argsort(-np.asarray(weights), kind="stable")[:k]
+    lines = []
+    for mg_id in order:
+        weight = float(weights[mg_id])
+        if weight < min_weight:
+            break
+        metagraph = catalog[int(mg_id)]
+        symmetric = bool(anchor_symmetric_pairs(metagraph, anchor_type))
+        marker = "" if symmetric else " [no symmetric anchor pair]"
+        lines.append(
+            f"w={weight:.2f}  {metagraph.name}: "
+            f"{describe(metagraph, anchor_type)}{marker}"
+        )
+    return lines

@@ -1,0 +1,237 @@
+"""Metagraph: a small typed pattern graph (Sect. II-A, Def. in Table I).
+
+A metagraph ``M = (V_M, E_M)`` abstracts objects into types: each node
+carries a type from ``T`` and only the type matters.  Metagraphs in this
+library are immutable, hashable value objects with nodes labelled
+``0 .. n-1``; equality is *labelled* equality (same types tuple, same
+edge set) — use :func:`repro.metagraph.canonical.canonical_form` for
+isomorphism-invariant identity.
+
+Instances of a metagraph on an object graph (Def. 2) are computed by the
+engines in :mod:`repro.matching`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+from functools import cached_property
+
+from repro.exceptions import InvalidMetagraphError
+
+Edge = tuple[int, int]
+
+
+def _normalize_edge(u: int, v: int) -> Edge:
+    if u == v:
+        raise InvalidMetagraphError(f"self-loop on node {u} is not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+class Metagraph:
+    """An immutable connected typed pattern graph.
+
+    Parameters
+    ----------
+    types:
+        ``types[i]`` is the type of pattern node ``i``.
+    edges:
+        Undirected edges as pairs of node indexes.
+    name:
+        Optional label (e.g. ``"M1"``) used in reports.
+
+    Examples
+    --------
+    The paper's M3 (Fig. 2b): two users sharing an address.
+
+    >>> m3 = Metagraph(["user", "address", "user"], [(0, 1), (1, 2)], name="M3")
+    >>> m3.is_path
+    True
+    >>> m3.size
+    3
+    """
+
+    __slots__ = ("_types", "_edges", "_adj", "name", "__dict__")
+
+    def __init__(
+        self,
+        types: Sequence[str],
+        edges: Iterable[tuple[int, int]],
+        name: str = "",
+    ):
+        self._types: tuple[str, ...] = tuple(types)
+        if not self._types:
+            raise InvalidMetagraphError("a metagraph must have at least one node")
+        for t in self._types:
+            if not isinstance(t, str) or not t:
+                raise InvalidMetagraphError(f"invalid node type {t!r}")
+        n = len(self._types)
+        normalized = set()
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise InvalidMetagraphError(
+                    f"edge ({u}, {v}) references a node outside 0..{n - 1}"
+                )
+            normalized.add(_normalize_edge(u, v))
+        self._edges: frozenset[Edge] = frozenset(normalized)
+        adj: list[set[int]] = [set() for _ in range(n)]
+        for u, v in self._edges:
+            adj[u].add(v)
+            adj[v].add(u)
+        self._adj: tuple[frozenset[int], ...] = tuple(frozenset(s) for s in adj)
+        self.name = name
+        if n > 1 and not self._is_connected():
+            raise InvalidMetagraphError("metagraphs must be connected")
+
+    def _is_connected(self) -> bool:
+        seen = {0}
+        queue = deque([0])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return len(seen) == self.size
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of pattern nodes |V_M|."""
+        return len(self._types)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of pattern edges |E_M|."""
+        return len(self._edges)
+
+    @property
+    def types(self) -> tuple[str, ...]:
+        """Node types indexed by node id."""
+        return self._types
+
+    @property
+    def edges(self) -> frozenset[Edge]:
+        """The (normalised, u < v) edge set."""
+        return self._edges
+
+    def node_type(self, node: int) -> str:
+        """Type of pattern node ``node``."""
+        return self._types[node]
+
+    def neighbors(self, node: int) -> frozenset[int]:
+        """Neighbours of pattern node ``node``."""
+        return self._adj[node]
+
+    def degree(self, node: int) -> int:
+        """Degree of pattern node ``node``."""
+        return len(self._adj[node])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the pattern edge (u, v) exists."""
+        return _normalize_edge(u, v) in self._edges if u != v else False
+
+    def nodes(self) -> range:
+        """Node ids 0..n-1."""
+        return range(self.size)
+
+    def nodes_of_type(self, node_type: str) -> tuple[int, ...]:
+        """Pattern nodes with the given type."""
+        return tuple(i for i, t in enumerate(self._types) if t == node_type)
+
+    @cached_property
+    def type_multiset(self) -> tuple[tuple[str, int], ...]:
+        """Sorted (type, multiplicity) pairs — a cheap isomorphism invariant."""
+        counts: dict[str, int] = {}
+        for t in self._types:
+            counts[t] = counts.get(t, 0) + 1
+        return tuple(sorted(counts.items()))
+
+    # ------------------------------------------------------------------
+    # structural predicates
+    # ------------------------------------------------------------------
+    @cached_property
+    def is_path(self) -> bool:
+        """True iff the metagraph is a *metapath* (a simple path).
+
+        Metapaths are the seed metagraphs of dual-stage training
+        (Alg. 1 line 1).  A single node counts as a (trivial) path.
+        """
+        n = self.size
+        if n == 1:
+            return True
+        if self.num_edges != n - 1:
+            return False
+        degrees = [self.degree(i) for i in range(n)]
+        return max(degrees) <= 2 and degrees.count(1) == 2
+
+    def count_type(self, node_type: str) -> int:
+        """Multiplicity of ``node_type`` among pattern nodes."""
+        return sum(1 for t in self._types if t == node_type)
+
+    # ------------------------------------------------------------------
+    # derived patterns
+    # ------------------------------------------------------------------
+    def induced_on(self, nodes: Sequence[int]) -> "Metagraph":
+        """Induced sub-metagraph on ``nodes`` (relabelled to 0..k-1).
+
+        Raises :class:`InvalidMetagraphError` if the induced pattern is
+        disconnected (metagraphs are connected by definition).
+        """
+        index = {node: i for i, node in enumerate(nodes)}
+        sub_types = [self._types[node] for node in nodes]
+        sub_edges = [
+            (index[u], index[v])
+            for u, v in self._edges
+            if u in index and v in index
+        ]
+        return Metagraph(sub_types, sub_edges)
+
+    def with_name(self, name: str) -> "Metagraph":
+        """A copy carrying a different display name."""
+        return Metagraph(self._types, self._edges, name=name)
+
+    def relabeled(self, permutation: Sequence[int]) -> "Metagraph":
+        """Apply a node relabelling: new node ``permutation[i]`` gets old ``i``.
+
+        ``permutation`` must be a permutation of ``0..n-1``.
+        """
+        n = self.size
+        if sorted(permutation) != list(range(n)):
+            raise InvalidMetagraphError(f"{permutation!r} is not a permutation of 0..{n - 1}")
+        new_types = [""] * n
+        for old, new in enumerate(permutation):
+            new_types[new] = self._types[old]
+        new_edges = [(permutation[u], permutation[v]) for u, v in self._edges]
+        return Metagraph(new_types, new_edges, name=self.name)
+
+    # ------------------------------------------------------------------
+    # value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Metagraph):
+            return NotImplemented
+        return self._types == other._types and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._types, self._edges))
+
+    def __repr__(self) -> str:
+        label = f" {self.name}" if self.name else ""
+        return (
+            f"<Metagraph{label}: types={list(self._types)}, "
+            f"edges={sorted(self._edges)}>"
+        )
+
+
+def metapath(*types: str, name: str = "") -> Metagraph:
+    """Convenience constructor for a metapath with the given type sequence.
+
+    >>> m = metapath("user", "school", "user")
+    >>> m.is_path
+    True
+    """
+    edges = [(i, i + 1) for i in range(len(types) - 1)]
+    return Metagraph(list(types), edges, name=name)

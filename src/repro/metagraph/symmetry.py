@@ -1,0 +1,159 @@
+"""Metagraph symmetry (Def. 1): automorphisms, symmetric pairs, orbits.
+
+Def. 1 declares a metagraph *symmetric* when a non-empty set Ψ of
+disjoint node pairs can be exchanged simultaneously without changing the
+edge set.  Exchanging the pairs of Ψ is an *involutive automorphism* of
+the typed pattern graph, so:
+
+- ``u`` and ``u'`` are **symmetric to each other** iff some involutive,
+  type-preserving automorphism swaps them;
+- the metagraph is **symmetric** iff at least one such pair exists.
+
+Patterns have at most a handful of nodes, so the full automorphism group
+is computed exactly by backtracking over type- and degree-compatible
+assignments.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.metagraph.metagraph import Metagraph
+
+Permutation = tuple[int, ...]
+
+
+def automorphisms(metagraph: Metagraph) -> tuple[Permutation, ...]:
+    """All type-preserving automorphisms of the metagraph.
+
+    Returned as tuples ``sigma`` with ``sigma[u]`` the image of node
+    ``u``; the identity is always included.  Results are cached per
+    structurally identical metagraph.
+    """
+    return _automorphisms_cached(metagraph.types, metagraph.edges)
+
+
+@lru_cache(maxsize=4096)
+def _automorphisms_cached(
+    types: tuple[str, ...], edges: frozenset[tuple[int, int]]
+) -> tuple[Permutation, ...]:
+    n = len(types)
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    degrees = [len(a) for a in adj]
+    # candidate images per node: same type and degree
+    candidates = [
+        [v for v in range(n) if types[v] == types[u] and degrees[v] == degrees[u]]
+        for u in range(n)
+    ]
+    found: list[Permutation] = []
+    image = [-1] * n
+    used = [False] * n
+
+    def backtrack(u: int) -> None:
+        if u == n:
+            found.append(tuple(image))
+            return
+        for v in candidates[u]:
+            if used[v]:
+                continue
+            # adjacency consistency with already-assigned nodes
+            consistent = True
+            for w in range(u):
+                w_adjacent = w in adj[u]
+                img_adjacent = image[w] in adj[v]
+                if w_adjacent != img_adjacent:
+                    consistent = False
+                    break
+            if consistent:
+                image[u] = v
+                used[v] = True
+                backtrack(u + 1)
+                used[v] = False
+                image[u] = -1
+
+    backtrack(0)
+    return tuple(found)
+
+
+def is_involution(sigma: Permutation) -> bool:
+    """True iff applying ``sigma`` twice is the identity."""
+    return all(sigma[sigma[u]] == u for u in range(len(sigma)))
+
+
+def symmetric_pairs(metagraph: Metagraph) -> frozenset[tuple[int, int]]:
+    """All unordered node pairs that are symmetric to each other (Def. 1).
+
+    A pair ``(u, v)`` (with ``u < v``) is included iff some involutive
+    automorphism swaps ``u`` and ``v``.
+    """
+    pairs: set[tuple[int, int]] = set()
+    for sigma in automorphisms(metagraph):
+        if not is_involution(sigma):
+            continue
+        for u in range(len(sigma)):
+            v = sigma[u]
+            if u < v:  # sigma[v] == u follows from involution
+                pairs.add((u, v))
+    return frozenset(pairs)
+
+
+def is_symmetric(metagraph: Metagraph) -> bool:
+    """True iff the metagraph is symmetric per Def. 1."""
+    return bool(symmetric_pairs(metagraph))
+
+
+def symmetric_partners(metagraph: Metagraph) -> dict[int, frozenset[int]]:
+    """Map each node to the set of nodes it is symmetric to (possibly empty)."""
+    partners: dict[int, set[int]] = {u: set() for u in metagraph.nodes()}
+    for u, v in symmetric_pairs(metagraph):
+        partners[u].add(v)
+        partners[v].add(u)
+    return {u: frozenset(s) for u, s in partners.items()}
+
+
+def orbits(metagraph: Metagraph) -> tuple[frozenset[int], ...]:
+    """Node orbits under the full automorphism group.
+
+    Nodes in the same orbit are structurally interchangeable.  Orbits are
+    returned sorted by their smallest member.
+    """
+    n = metagraph.size
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for sigma in automorphisms(metagraph):
+        for u in range(n):
+            union(u, sigma[u])
+    groups: dict[int, set[int]] = {}
+    for u in range(n):
+        groups.setdefault(find(u), set()).add(u)
+    return tuple(
+        sorted((frozenset(g) for g in groups.values()), key=min)
+    )
+
+
+def anchor_symmetric_pairs(metagraph: Metagraph, anchor_type: str) -> frozenset[tuple[int, int]]:
+    """Symmetric pairs whose nodes both have ``anchor_type``.
+
+    The metagraph vectors (Eq. 1–2) count co-occurrences of two *user*
+    nodes at symmetric positions; this helper restricts Def. 1 pairs to
+    the anchor type being queried.
+    """
+    return frozenset(
+        (u, v)
+        for u, v in symmetric_pairs(metagraph)
+        if metagraph.node_type(u) == anchor_type and metagraph.node_type(v) == anchor_type
+    )

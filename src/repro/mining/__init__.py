@@ -1,0 +1,39 @@
+"""Metagraph mining (offline subproblem 1): a GraMi-style substitute."""
+
+from repro.mining.enumerate import enumerate_patterns, extensions, single_edge_patterns
+from repro.mining.filters import build_catalog, filter_metagraphs, passes_paper_filters
+from repro.mining.grami import (
+    GramiMiner,
+    MinerConfig,
+    MiningResult,
+    SupportEstimate,
+    mni_support,
+)
+
+
+def mine_catalog(graph, config=None, anchor_type: str = "user"):
+    """End-to-end offline subproblem 1: mine, filter, and index.
+
+    Returns the :class:`~repro.metagraph.catalog.MetagraphCatalog` of
+    frequent, symmetric, anchor-pair metagraphs on ``graph``.
+    """
+    miner = GramiMiner(config or MinerConfig())
+    result = miner.mine(graph)
+    max_nodes = miner.config.max_nodes
+    return build_catalog(result.patterns, anchor_type=anchor_type, max_nodes=max_nodes)
+
+
+__all__ = [
+    "GramiMiner",
+    "MinerConfig",
+    "MiningResult",
+    "SupportEstimate",
+    "build_catalog",
+    "enumerate_patterns",
+    "extensions",
+    "filter_metagraphs",
+    "mine_catalog",
+    "mni_support",
+    "passes_paper_filters",
+    "single_edge_patterns",
+]

@@ -1,0 +1,112 @@
+"""Schema-driven enumeration of connected typed patterns.
+
+The pattern-growth core shared by the miner: starting from single-edge
+patterns over the allowed type pairs, grow by either attaching a new
+node (allowed type pair to an existing node) or closing an edge between
+two existing non-adjacent nodes.  Canonical forms deduplicate the search
+so each isomorphism class is visited once.
+
+Every connected pattern with at most ``max_nodes`` nodes (and, when
+bounded, ``max_edges`` edges) over the given type pairs is generated:
+removing a leaf node or a cycle edge from any such pattern yields a
+smaller valid pattern, so induction over the growth operations covers
+the whole space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.metagraph.canonical import CanonicalForm, canonical_form, canonicalize
+from repro.metagraph.metagraph import Metagraph
+
+TypePair = tuple[str, str]
+
+
+def _allowed(pairs: frozenset[TypePair], type_a: str, type_b: str) -> bool:
+    pair = (type_a, type_b) if type_a <= type_b else (type_b, type_a)
+    return pair in pairs
+
+
+def single_edge_patterns(type_pairs: Iterable[TypePair]) -> list[Metagraph]:
+    """One two-node pattern per allowed type pair (canonical labelling)."""
+    patterns = []
+    for a, b in sorted(set(type_pairs)):
+        patterns.append(canonicalize(Metagraph([a, b], [(0, 1)])))
+    return patterns
+
+
+def extensions(
+    pattern: Metagraph,
+    type_pairs: frozenset[TypePair],
+    types: Iterable[str],
+    max_nodes: int,
+    max_edges: int | None,
+) -> Iterator[Metagraph]:
+    """All one-step extensions of a pattern.
+
+    Either a new node of any type attached to one existing node, or a
+    new edge between two existing non-adjacent nodes — both restricted
+    to allowed type pairs.
+    """
+    n = pattern.size
+    if max_edges is None or pattern.num_edges < max_edges:
+        # close an edge between existing nodes
+        for u in range(n):
+            for v in range(u + 1, n):
+                if pattern.has_edge(u, v):
+                    continue
+                if _allowed(type_pairs, pattern.node_type(u), pattern.node_type(v)):
+                    yield Metagraph(
+                        pattern.types, set(pattern.edges) | {(u, v)}
+                    )
+        # attach a new node
+        if n < max_nodes:
+            for new_type in sorted(set(types)):
+                for u in range(n):
+                    if _allowed(type_pairs, pattern.node_type(u), new_type):
+                        yield Metagraph(
+                            list(pattern.types) + [new_type],
+                            set(pattern.edges) | {(u, n)},
+                        )
+
+
+def enumerate_patterns(
+    type_pairs: Iterable[TypePair],
+    max_nodes: int = 5,
+    max_edges: int | None = None,
+) -> list[Metagraph]:
+    """All connected typed patterns over the allowed type pairs.
+
+    Patterns are returned canonically labelled, deduplicated up to
+    isomorphism, sorted by (size, edges, canonical form) for
+    determinism.  Single-node patterns are not produced (a metagraph
+    describing proximity needs at least one edge).
+    """
+    pairs = frozenset(
+        (a, b) if a <= b else (b, a) for a, b in type_pairs
+    )
+    types = sorted({t for pair in pairs for t in pair})
+    seen: set[CanonicalForm] = set()
+    result: list[Metagraph] = []
+    frontier: list[Metagraph] = []
+    for pattern in single_edge_patterns(pairs):
+        form = canonical_form(pattern)
+        if form not in seen:
+            seen.add(form)
+            result.append(pattern)
+            frontier.append(pattern)
+    while frontier:
+        next_frontier: list[Metagraph] = []
+        for pattern in frontier:
+            for extension in extensions(pattern, pairs, types, max_nodes, max_edges):
+                form = canonical_form(extension)
+                if form in seen:
+                    continue
+                seen.add(form)
+                canonical = Metagraph(form[0], form[1])
+                result.append(canonical)
+                next_frontier.append(canonical)
+        frontier = next_frontier
+    result.sort(key=lambda m: (m.size, m.num_edges, canonical_form(m)))
+    return result

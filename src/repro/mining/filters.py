@@ -1,0 +1,65 @@
+"""The paper's metagraph filters (Sect. V-A "Metagraphs").
+
+After mining, the paper keeps only metagraphs that
+
+1. are symmetric (Def. 1) — the paper addresses symmetric classes;
+2. contain at least two anchor-type (``user``) nodes **at symmetric
+   positions** — otherwise the metagraph can never contribute to the
+   proximity between two users (Eq. 1 counts symmetric co-occurrences);
+3. contain at least one node of another type;
+4. have at most ``max_nodes`` nodes (5 in the paper).
+
+:func:`build_catalog` applies the filters and assembles the
+:class:`~repro.metagraph.catalog.MetagraphCatalog` that the rest of the
+pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.metagraph.metagraph import Metagraph
+from repro.metagraph.symmetry import anchor_symmetric_pairs, is_symmetric
+
+
+def passes_paper_filters(
+    metagraph: Metagraph, anchor_type: str = "user", max_nodes: int = 5
+) -> bool:
+    """True iff the metagraph satisfies all four Sect. V-A conditions."""
+    if metagraph.size > max_nodes:
+        return False
+    if metagraph.count_type(anchor_type) < 2:
+        return False
+    if metagraph.count_type(anchor_type) == metagraph.size:
+        return False  # needs at least one node of another type
+    if not is_symmetric(metagraph):
+        return False
+    return bool(anchor_symmetric_pairs(metagraph, anchor_type))
+
+
+def filter_metagraphs(
+    metagraphs: Iterable[Metagraph],
+    anchor_type: str = "user",
+    max_nodes: int = 5,
+) -> list[Metagraph]:
+    """Keep only metagraphs passing :func:`passes_paper_filters`."""
+    return [
+        m
+        for m in metagraphs
+        if passes_paper_filters(m, anchor_type=anchor_type, max_nodes=max_nodes)
+    ]
+
+
+def build_catalog(
+    metagraphs: Iterable[Metagraph],
+    anchor_type: str = "user",
+    max_nodes: int = 5,
+) -> MetagraphCatalog:
+    """Filter mined patterns and index the survivors into a catalog."""
+    catalog = MetagraphCatalog(anchor_type=anchor_type)
+    for metagraph in filter_metagraphs(
+        metagraphs, anchor_type=anchor_type, max_nodes=max_nodes
+    ):
+        catalog.add_if_new(metagraph)
+    return catalog

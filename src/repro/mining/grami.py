@@ -1,0 +1,164 @@
+"""GraMi-style frequent metagraph mining on a single large graph.
+
+The paper uses GRAMI [9] off the shelf for offline subproblem 1 (mining
+the metagraph set M).  This module is our from-scratch substitute with
+the same semantics:
+
+- **support** is MNI (minimum node image): the support of a pattern is
+  the minimum, over pattern nodes ``u``, of the number of distinct graph
+  nodes that appear as the image of ``u`` in some embedding.  Embeddings
+  use standard (non-induced) subgraph isomorphism, as GRAMI does.
+- **anti-monotone pruning**: MNI support never increases when a pattern
+  grows, so growth proceeds only from frequent patterns and each
+  isomorphism class is tested once (canonical-form dedup).
+- support evaluation short-circuits once every pattern node has reached
+  the threshold, and abandons patterns whose embedding enumeration
+  exceeds a configurable budget (reported, never silent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.typed_graph import TypedGraph
+from repro.matching.backtracking import backtrack_embeddings
+from repro.matching.ordering import GraphCardinalities, estimated_cost_order
+from repro.metagraph.canonical import CanonicalForm, canonical_form
+from repro.metagraph.metagraph import Metagraph
+from repro.mining.enumerate import extensions, single_edge_patterns
+
+
+@dataclass(frozen=True)
+class MinerConfig:
+    """Configuration of the GraMi-style miner.
+
+    Parameters
+    ----------
+    max_nodes:
+        Largest pattern size; the paper restricts metagraphs to 5 nodes.
+    max_edges:
+        Optional edge bound (None = unbounded).
+    min_support:
+        MNI support threshold for a pattern to be frequent.
+    embedding_budget:
+        Abort support evaluation for one pattern after this many
+        embeddings.  Early abortion can only *under*-report support, so
+        a budget hit is treated as frequent (the pattern demonstrably
+        has an enormous embedding count) and counted in
+        :class:`MiningResult.budget_hits`.
+    """
+
+    max_nodes: int = 5
+    max_edges: int | None = None
+    min_support: int = 2
+    embedding_budget: int = 2_000_000
+
+
+@dataclass(frozen=True)
+class SupportEstimate:
+    """Outcome of one MNI support evaluation."""
+
+    support: int
+    budget_hit: bool
+
+    def is_frequent(self, threshold: int) -> bool:
+        """Frequent iff the threshold was reached or evaluation was cut short."""
+        return self.support >= threshold or self.budget_hit
+
+
+@dataclass
+class MiningResult:
+    """Outcome of a mining run."""
+
+    patterns: list[Metagraph] = field(default_factory=list)
+    supports: dict[CanonicalForm, int] = field(default_factory=dict)
+    candidates_tested: int = 0
+    budget_hits: int = 0
+
+    def support_of(self, pattern: Metagraph) -> int:
+        """MNI support recorded for a mined pattern."""
+        return self.supports[canonical_form(pattern)]
+
+
+def mni_support(
+    graph: TypedGraph,
+    pattern: Metagraph,
+    threshold: int,
+    embedding_budget: int | None = None,
+    cardinalities: GraphCardinalities | None = None,
+) -> SupportEstimate:
+    """MNI support of ``pattern`` on ``graph``.
+
+    Short-circuits at ``threshold`` (returns ``threshold`` as soon as
+    every pattern node has at least ``threshold`` distinct images), so
+    the exact value is only computed when it is below the threshold.
+    """
+    order = estimated_cost_order(graph, pattern, cardinalities)
+    images: list[set] = [set() for _ in range(pattern.size)]
+    enumerated = 0
+    for embedding in backtrack_embeddings(graph, pattern, order, induced=False):
+        enumerated += 1
+        for u, v in embedding.items():
+            images[u].add(v)
+        if all(len(s) >= threshold for s in images):
+            return SupportEstimate(threshold, budget_hit=False)
+        if embedding_budget is not None and enumerated >= embedding_budget:
+            return SupportEstimate(
+                min(len(s) for s in images), budget_hit=True
+            )
+    return SupportEstimate(min(len(s) for s in images), budget_hit=False)
+
+
+class GramiMiner:
+    """Pattern-growth miner with MNI support and canonical dedup."""
+
+    def __init__(self, config: MinerConfig | None = None):
+        self.config = config or MinerConfig()
+
+    def mine(self, graph: TypedGraph) -> MiningResult:
+        """Mine all frequent patterns of the configured size on ``graph``."""
+        cfg = self.config
+        result = MiningResult()
+        if graph.num_edges == 0:
+            return result
+        type_pairs = graph.observed_type_pairs()
+        types = sorted(graph.types)
+        stats = GraphCardinalities(graph)
+        seen: set[CanonicalForm] = set()
+        frontier: list[Metagraph] = []
+
+        def consider(pattern: Metagraph) -> None:
+            form = canonical_form(pattern)
+            if form in seen:
+                return
+            seen.add(form)
+            result.candidates_tested += 1
+            estimate = mni_support(
+                graph,
+                pattern,
+                cfg.min_support,
+                embedding_budget=cfg.embedding_budget,
+                cardinalities=stats,
+            )
+            if not estimate.is_frequent(cfg.min_support):
+                return
+            if estimate.budget_hit:
+                result.budget_hits += 1
+            canonical = Metagraph(form[0], form[1])
+            result.patterns.append(canonical)
+            result.supports[form] = estimate.support
+            frontier.append(canonical)
+
+        for pattern in single_edge_patterns(type_pairs):
+            consider(pattern)
+        while frontier:
+            current, frontier = frontier, []
+            for pattern in current:
+                for extension in extensions(
+                    pattern, type_pairs, types, cfg.max_nodes, cfg.max_edges
+                ):
+                    consider(extension)
+        result.patterns.sort(
+            key=lambda m: (m.size, m.num_edges, canonical_form(m))
+        )
+        return result

@@ -1,0 +1,175 @@
+"""SemanticProximitySearch: the one-object facade over the whole pipeline.
+
+Wraps Fig. 3's offline and online phases behind the API a downstream
+application wants:
+
+>>> engine = SemanticProximitySearch(graph)                 # doctest: +SKIP
+>>> engine.prepare()                        # mine + match + index (offline)
+>>> engine.fit("classmate", labelled_queries)        # learn one class
+>>> engine.query("classmate", "Kate", k=10)          # online ranking
+>>> engine.explain("classmate", "Kate", "Jay")       # why they are close
+
+Classes are independent models over the shared metagraph vectors, so
+adding a class never recomputes matching.  ``fit`` accepts either
+labelled queries (positives per query) or raw pairwise triplets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import LearningError
+from repro.graph.typed_graph import NodeId, TypedGraph
+from repro.index.instance_index import InstanceIndex
+from repro.index.transform import Transform, identity
+from repro.index.vectors import MetagraphVectors, build_vectors
+from repro.learning.examples import generate_triplets
+from repro.learning.model import ProximityModel
+from repro.learning.objective import Triplet
+from repro.learning.trainer import Trainer, TrainerConfig
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.metagraph.metagraph import Metagraph
+from repro.mining import MinerConfig, mine_catalog
+
+
+class SemanticProximitySearch:
+    """Semantic proximity search over one heterogeneous graph.
+
+    Parameters
+    ----------
+    graph:
+        The typed object graph.
+    anchor_type:
+        The node type whose proximity is measured (``"user"`` default).
+    miner_config:
+        Mining knobs (pattern size, support threshold).
+    trainer_config:
+        Gradient-ascent knobs shared by all classes.
+    transform:
+        Count transform applied to the metagraph vectors.
+    """
+
+    def __init__(
+        self,
+        graph: TypedGraph,
+        anchor_type: str = "user",
+        miner_config: MinerConfig | None = None,
+        trainer_config: TrainerConfig | None = None,
+        transform: Transform = identity,
+    ):
+        self.graph = graph
+        self.anchor_type = anchor_type
+        self.miner_config = miner_config or MinerConfig()
+        self.trainer_config = trainer_config or TrainerConfig()
+        self.transform = transform
+        self.catalog: MetagraphCatalog | None = None
+        self.vectors: MetagraphVectors | None = None
+        self.index: InstanceIndex | None = None
+        self._models: dict[str, ProximityModel] = {}
+
+    # ------------------------------------------------------------------
+    # offline phase
+    # ------------------------------------------------------------------
+    def prepare(self, catalog: MetagraphCatalog | None = None) -> "SemanticProximitySearch":
+        """Run the offline phase: mine (unless given a catalog), match, index."""
+        if catalog is not None:
+            self.catalog = catalog
+        else:
+            self.catalog = mine_catalog(
+                self.graph, self.miner_config, anchor_type=self.anchor_type
+            )
+        self.vectors, self.index = build_vectors(
+            self.graph, self.catalog, transform=self.transform
+        )
+        return self
+
+    def _require_prepared(self) -> tuple[MetagraphCatalog, MetagraphVectors]:
+        if self.catalog is None or self.vectors is None:
+            raise LearningError(
+                "offline phase not run: call prepare() before fit()/query()"
+            )
+        return self.catalog, self.vectors
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        class_name: str,
+        labels: Mapping[NodeId, frozenset[NodeId]] | None = None,
+        queries: Sequence[NodeId] | None = None,
+        triplets: Sequence[Triplet] | None = None,
+        num_examples: int = 500,
+        seed: int = 0,
+    ) -> ProximityModel:
+        """Learn one semantic class; returns (and stores) its model.
+
+        Supply either raw ``triplets``, or ``labels`` (positives per
+        query) with optional ``queries`` (defaults to every labelled
+        query) from which triplets are sampled.
+        """
+        _catalog, vectors = self._require_prepared()
+        if triplets is None:
+            if labels is None:
+                raise LearningError("fit() needs labels or triplets")
+            if queries is None:
+                queries = sorted(
+                    (q for q, members in labels.items() if members), key=repr
+                )
+            universe = sorted(
+                self.graph.nodes_of_type(self.anchor_type), key=repr
+            )
+            triplets = generate_triplets(
+                queries, labels, universe, num_examples=num_examples, seed=seed
+            )
+        trainer = Trainer(self.trainer_config)
+        weights = trainer.train(triplets, vectors)
+        model = ProximityModel(weights, vectors, name=class_name)
+        self._models[class_name] = model
+        return model
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """The fitted class names."""
+        return tuple(sorted(self._models))
+
+    def model(self, class_name: str) -> ProximityModel:
+        """The fitted model of a class; raises for unknown classes."""
+        try:
+            return self._models[class_name]
+        except KeyError:
+            raise LearningError(
+                f"class {class_name!r} not fitted; available: {list(self.classes)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # online phase
+    # ------------------------------------------------------------------
+    def query(
+        self, class_name: str, query: NodeId, k: int | None = 10
+    ) -> list[tuple[NodeId, float]]:
+        """Rank anchor nodes by proximity to ``query`` for one class."""
+        model = self.model(class_name)
+        universe = sorted(self.graph.nodes_of_type(self.anchor_type), key=repr)
+        return model.rank(query, universe=universe, k=k)
+
+    def proximity(self, class_name: str, x: NodeId, y: NodeId) -> float:
+        """pi(x, y) under one class's learned weights."""
+        return self.model(class_name).proximity(x, y)
+
+    def explain(
+        self, class_name: str, x: NodeId, y: NodeId, k: int = 5
+    ) -> list[tuple[Metagraph, float]]:
+        """Top contributing metagraphs for a pair, as (metagraph, share)."""
+        catalog, _vectors = self._require_prepared()
+        return [
+            (catalog[mg_id], contribution)
+            for mg_id, contribution in self.model(class_name).explain(x, y, k=k)
+        ]
+
+    def __repr__(self) -> str:
+        prepared = self.catalog is not None
+        return (
+            f"<SemanticProximitySearch: {self.graph!r}, prepared={prepared}, "
+            f"classes={list(self.classes)}>"
+        )

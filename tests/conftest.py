@@ -1,0 +1,125 @@
+"""Shared fixtures: the paper's toy graph (Fig. 1) and metagraphs (Fig. 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.typed_graph import TypedGraph
+from repro.metagraph.metagraph import Metagraph, metapath
+
+
+def build_toy_graph() -> TypedGraph:
+    """The Fig. 1 toy social network, transcribed from the paper.
+
+    Five users and their attribute nodes.  Edges follow the figure's
+    explanations: Kate/Alice share employer and hobby, Kate/Jay share
+    address and school+major, Bob/Alice share surname and address,
+    Bob/Tom share school and major.
+    """
+    g = TypedGraph(name="toy")
+    users = ["Alice", "Bob", "Kate", "Jay", "Tom"]
+    for u in users:
+        g.add_node(u, "user")
+    attributes = [
+        ("Clinton", "surname"),
+        ("123 Green St", "address"),
+        ("456 White St", "address"),
+        ("College A", "school"),
+        ("College B", "school"),
+        ("Economics", "major"),
+        ("Physics", "major"),
+        ("Company X", "employer"),
+        ("Music", "hobby"),
+    ]
+    for value, node_type in attributes:
+        g.add_node(value, node_type)
+    edges = [
+        # family: Bob & Alice share surname and address
+        ("Alice", "Clinton"),
+        ("Bob", "Clinton"),
+        ("Alice", "123 Green St"),
+        ("Bob", "123 Green St"),
+        # close friends: Kate & Alice share employer and hobby
+        ("Kate", "Company X"),
+        ("Alice", "Company X"),
+        ("Kate", "Music"),
+        ("Alice", "Music"),
+        # close friends: Kate & Jay share address
+        ("Kate", "456 White St"),
+        ("Jay", "456 White St"),
+        # classmates: Kate & Jay share school and major
+        ("Kate", "College B"),
+        ("Jay", "College B"),
+        ("Kate", "Economics"),
+        ("Jay", "Economics"),
+        # classmates: Bob & Tom share school and major
+        ("Bob", "College A"),
+        ("Tom", "College A"),
+        ("Bob", "Physics"),
+        ("Tom", "Physics"),
+    ]
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+def fig2_metagraphs() -> dict[str, Metagraph]:
+    """The paper's Fig. 2 metagraphs M1–M4."""
+    m1 = Metagraph(
+        ["user", "school", "major", "user"],
+        [(0, 1), (0, 2), (3, 1), (3, 2)],
+        name="M1",
+    )
+    m2 = Metagraph(
+        ["user", "employer", "hobby", "user"],
+        [(0, 1), (0, 2), (3, 1), (3, 2)],
+        name="M2",
+    )
+    m3 = metapath("user", "address", "user", name="M3")
+    m4 = Metagraph(
+        ["user", "surname", "address", "user"],
+        [(0, 1), (0, 2), (3, 1), (3, 2)],
+        name="M4",
+    )
+    return {"M1": m1, "M2": m2, "M3": m3, "M4": m4}
+
+
+@pytest.fixture
+def toy_graph() -> TypedGraph:
+    return build_toy_graph()
+
+
+@pytest.fixture
+def toy_metagraphs() -> dict[str, Metagraph]:
+    return fig2_metagraphs()
+
+
+def random_typed_graph(
+    seed: int,
+    num_users: int = 12,
+    num_attrs_per_type: int = 4,
+    attr_types: tuple[str, ...] = ("school", "hobby", "employer"),
+    edge_prob: float = 0.35,
+    user_edge_prob: float = 0.15,
+) -> TypedGraph:
+    """A random small heterogeneous graph for property-based tests."""
+    rng = random.Random(seed)
+    g = TypedGraph(name=f"rand{seed}")
+    users = [f"u{i}" for i in range(num_users)]
+    for u in users:
+        g.add_node(u, "user")
+    for t in attr_types:
+        for j in range(num_attrs_per_type):
+            g.add_node(f"{t}{j}", t)
+    for u in users:
+        for t in attr_types:
+            for j in range(num_attrs_per_type):
+                if rng.random() < edge_prob:
+                    g.add_edge(u, f"{t}{j}")
+    for i, u in enumerate(users):
+        for v in users[i + 1 :]:
+            if rng.random() < user_edge_prob:
+                g.add_edge(u, v)
+    return g

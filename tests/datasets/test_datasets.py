@@ -1,0 +1,230 @@
+"""Tests for the dataset substrate and the two synthetic generators."""
+
+import random
+
+import pytest
+
+from repro.datasets.base import (
+    LabeledGraphDataset,
+    labels_as_pairs,
+    symmetric_labels,
+)
+from repro.datasets.facebook import FACEBOOK_SCHEMA, FacebookConfig, generate_facebook
+from repro.datasets.linkedin import LINKEDIN_SCHEMA, LinkedInConfig, generate_linkedin
+from repro.datasets.synthetic import (
+    group_pairs,
+    partition_into_groups,
+    perturb_pairs,
+)
+from repro.datasets.toy import toy_dataset
+from repro.datasets import load_dataset
+from repro.exceptions import DatasetError
+from repro.graph.typed_graph import TypedGraph
+
+
+class TestBase:
+    def test_symmetric_labels(self):
+        labels = symmetric_labels([("a", "b"), ("b", "c")])
+        assert labels["a"] == frozenset({"b"})
+        assert labels["b"] == frozenset({"a", "c"})
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(DatasetError):
+            symmetric_labels([("a", "a")])
+
+    def test_labels_round_trip(self):
+        pairs = {("a", "b"), ("b", "c")}
+        assert labels_as_pairs(symmetric_labels(pairs)) == pairs
+
+    def test_queries_require_positives(self):
+        g = TypedGraph()
+        for n in ("a", "b", "c"):
+            g.add_node(n, "user")
+        ds = LabeledGraphDataset(
+            name="x",
+            graph=g,
+            anchor_type="user",
+            labels={"c1": symmetric_labels([("a", "b")])},
+        )
+        assert ds.queries("c1") == ("a", "b")
+
+    def test_unknown_class_raises(self):
+        ds = toy_dataset()
+        with pytest.raises(DatasetError):
+            ds.class_labels("nope")
+
+    def test_non_anchor_label_rejected(self):
+        g = TypedGraph()
+        g.add_node("a", "user")
+        g.add_node("s", "school")
+        with pytest.raises(DatasetError):
+            LabeledGraphDataset(
+                name="bad",
+                graph=g,
+                anchor_type="user",
+                labels={"c": {"s": frozenset({"a"})}},
+            )
+
+    def test_missing_anchor_type_rejected(self):
+        g = TypedGraph()
+        g.add_node("s", "school")
+        with pytest.raises(DatasetError):
+            LabeledGraphDataset(name="bad", graph=g, anchor_type="user")
+
+    def test_describe_row(self):
+        row = toy_dataset().describe()
+        assert row["#Nodes"] == 14
+        assert "#Queries (family)" in row
+
+
+class TestSyntheticHelpers:
+    def test_partition_covers_everyone(self):
+        rng = random.Random(0)
+        members = [f"u{i}" for i in range(50)]
+        groups = partition_into_groups(members, 3, 7, rng)
+        flat = [m for g in groups for m in g]
+        assert sorted(flat) == sorted(members)
+        assert all(len(g) <= 7 for g in groups)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(DatasetError):
+            partition_into_groups(["a"], 3, 2, random.Random(0))
+
+    def test_group_pairs(self):
+        pairs = group_pairs([["a", "b", "c"], ["d"]])
+        assert pairs == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_perturb_preserves_size_roughly(self):
+        rng = random.Random(1)
+        base = {(f"a{i}", f"b{i}") for i in range(100)}
+        universe = [f"a{i}" for i in range(100)] + [f"b{i}" for i in range(100)]
+        out = perturb_pairs(base, universe, 0.05, rng)
+        # ~5% dropped, ~5% random added
+        assert 90 <= len(out) <= 110
+        assert len(base - out) > 0 or len(out - base) > 0
+
+    def test_perturb_zero_probability_is_identity(self):
+        base = {("a", "b")}
+        out = perturb_pairs(base, ["a", "b", "c"], 0.0, random.Random(0))
+        assert out == base
+
+
+class TestLinkedIn:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_linkedin(LinkedInConfig(num_users=80, seed=3))
+
+    def test_schema_conformance(self, dataset):
+        LINKEDIN_SCHEMA.validate_graph(dataset.graph)
+
+    def test_types_match_paper(self, dataset):
+        assert dataset.graph.types == {"user", "employer", "location", "college"}
+
+    def test_classes(self, dataset):
+        assert dataset.classes == ("college", "coworker")
+
+    def test_queries_nonempty(self, dataset):
+        assert len(dataset.queries("college")) > 10
+        assert len(dataset.queries("coworker")) > 10
+
+    def test_deterministic(self):
+        a = generate_linkedin(LinkedInConfig(num_users=40, seed=5))
+        b = generate_linkedin(LinkedInConfig(num_users=40, seed=5))
+        assert a.graph == b.graph
+        assert a.labels == b.labels
+
+    def test_seed_changes_graph(self):
+        a = generate_linkedin(LinkedInConfig(num_users=40, seed=5))
+        b = generate_linkedin(LinkedInConfig(num_users=40, seed=6))
+        assert a.graph != b.graph
+
+    def test_college_signal_planted(self, dataset):
+        """Most college pairs share a college node."""
+        graph = dataset.graph
+        pairs = labels_as_pairs(dataset.class_labels("college"))
+        sharing = sum(
+            1
+            for x, y in pairs
+            if graph.neighbors_of_type(x, "college")
+            & graph.neighbors_of_type(y, "college")
+        )
+        assert sharing / len(pairs) > 0.6
+
+
+class TestFacebook:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_facebook(FacebookConfig(num_users=60, seed=4))
+
+    def test_schema_conformance(self, dataset):
+        FACEBOOK_SCHEMA.validate_graph(dataset.graph)
+
+    def test_ten_types(self, dataset):
+        assert len(dataset.graph.types) == 10
+
+    def test_classes(self, dataset):
+        assert dataset.classes == ("classmate", "family")
+
+    def test_family_rule_mostly_holds(self, dataset):
+        """>= 90% of family pairs satisfy the paper's rule (5% flip)."""
+        graph = dataset.graph
+        pairs = labels_as_pairs(dataset.class_labels("family"))
+        assert pairs
+        holds = 0
+        for x, y in pairs:
+            same_surname = bool(
+                graph.neighbors_of_type(x, "surname")
+                & graph.neighbors_of_type(y, "surname")
+            )
+            same_home = bool(
+                graph.neighbors_of_type(x, "location")
+                & graph.neighbors_of_type(y, "location")
+            ) or bool(
+                graph.neighbors_of_type(x, "hometown")
+                & graph.neighbors_of_type(y, "hometown")
+            )
+            if same_surname and same_home:
+                holds += 1
+        assert holds / len(pairs) > 0.8
+
+    def test_classmate_rule_mostly_holds(self, dataset):
+        graph = dataset.graph
+        pairs = labels_as_pairs(dataset.class_labels("classmate"))
+        assert pairs
+        holds = 0
+        for x, y in pairs:
+            same_school = bool(
+                graph.neighbors_of_type(x, "school")
+                & graph.neighbors_of_type(y, "school")
+            )
+            same_course = bool(
+                graph.neighbors_of_type(x, "degree")
+                & graph.neighbors_of_type(y, "degree")
+            ) or bool(
+                graph.neighbors_of_type(x, "major")
+                & graph.neighbors_of_type(y, "major")
+            )
+            if same_school and same_course:
+                holds += 1
+        assert holds / len(pairs) > 0.8
+
+    def test_deterministic(self):
+        a = generate_facebook(FacebookConfig(num_users=30, seed=9))
+        b = generate_facebook(FacebookConfig(num_users=30, seed=9))
+        assert a.graph == b.graph
+        assert a.labels == b.labels
+
+
+class TestLoadDataset:
+    def test_toy(self):
+        assert load_dataset("toy").name == "toy"
+
+    def test_tiny_scales(self):
+        li = load_dataset("linkedin", scale="tiny")
+        assert li.graph.count_type("user") == 60
+        fb = load_dataset("facebook", scale="tiny")
+        assert fb.graph.count_type("user") == 50
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("myspace")

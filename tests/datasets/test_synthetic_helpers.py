@@ -1,0 +1,135 @@
+"""Tests for the generator building blocks added for conjunctive classes."""
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import (
+    attach_pooled_attribute,
+    correlated_groups,
+    pairs_sharing,
+)
+from repro.graph.builder import GraphBuilder
+
+
+class TestCorrelatedGroups:
+    def _setup(self, seed=0, n=60, cities=4):
+        rng = random.Random(seed)
+        members = [f"u{i}" for i in range(n)]
+        home_of = {u: f"city{i % cities}" for i, u in enumerate(members)}
+        return members, home_of, rng
+
+    def test_partition_property(self):
+        members, home_of, rng = self._setup()
+        groups = correlated_groups(members, home_of, 3, 6, rng)
+        flat = sorted(m for g in groups for m in g)
+        assert flat == sorted(members)
+
+    def test_size_bounds_mostly_respected(self):
+        members, home_of, rng = self._setup()
+        groups = correlated_groups(members, home_of, 3, 6, rng)
+        # all groups but possibly the last leftover respect the max
+        assert all(len(g) <= 6 for g in groups)
+
+    def test_locality_bias(self):
+        members, home_of, rng = self._setup(seed=3, n=120, cities=6)
+        groups = correlated_groups(members, home_of, 4, 8, rng, locality=0.9)
+        same_home_fraction = []
+        for group in groups:
+            if len(group) < 2:
+                continue
+            seed_home = home_of[group[0]]
+            local = sum(1 for u in group if home_of[u] == seed_home)
+            same_home_fraction.append(local / len(group))
+        mean = sum(same_home_fraction) / len(same_home_fraction)
+        assert mean > 0.6  # strongly correlated with the seed's home
+
+    def test_zero_locality_less_correlated(self):
+        members, home_of, rng1 = self._setup(seed=4, n=120, cities=6)
+        high = correlated_groups(members, home_of, 4, 8, rng1, locality=0.95)
+        _m, _h, rng2 = self._setup(seed=4, n=120, cities=6)
+        low = correlated_groups(members, home_of, 4, 8, rng2, locality=0.0)
+
+        def mean_locality(groups):
+            values = []
+            for group in groups:
+                if len(group) < 2:
+                    continue
+                home = home_of[group[0]]
+                values.append(
+                    sum(1 for u in group if home_of[u] == home) / len(group)
+                )
+            return sum(values) / len(values)
+
+        assert mean_locality(high) > mean_locality(low)
+
+    def test_deterministic(self):
+        members, home_of, _ = self._setup()
+        a = correlated_groups(members, home_of, 3, 6, random.Random(7))
+        b = correlated_groups(members, home_of, 3, 6, random.Random(7))
+        assert a == b
+
+
+class TestAttachPooledAttribute:
+    def _builder(self, n=20):
+        builder = GraphBuilder()
+        users = [f"u{i}" for i in range(n)]
+        for u in users:
+            builder.node(u, "user")
+        return builder, users
+
+    def test_groups_can_collide(self):
+        builder, users = self._builder()
+        groups = [users[:5], users[5:10], users[10:15], users[15:]]
+        pool = ["smith", "jones"]  # 4 groups, 2 surnames -> collision
+        drawn = attach_pooled_attribute(
+            builder, groups, "surname", pool, random.Random(0)
+        )
+        assert len(drawn) == 4
+        assert len(set(drawn)) <= 2
+
+    def test_pool_nodes_created(self):
+        builder, users = self._builder()
+        attach_pooled_attribute(
+            builder, [users[:3]], "surname", ["a", "b", "c"], random.Random(0)
+        )
+        assert builder.graph.count_type("surname") == 3
+
+    def test_attach_probability_zero(self):
+        builder, users = self._builder()
+        attach_pooled_attribute(
+            builder, [users], "surname", ["x"], random.Random(0),
+            attach_probability=0.0,
+        )
+        assert builder.graph.degree("x") == 0
+
+    def test_no_duplicate_edges_on_collision(self):
+        builder, users = self._builder(6)
+        # same group attached twice via two colliding groups sharing users
+        groups = [users[:4], users[2:6]]
+        attach_pooled_attribute(
+            builder, groups, "surname", ["only"], random.Random(0)
+        )
+        assert builder.graph.degree("only") == 6  # each user once
+
+
+class TestPairsSharing:
+    def test_conjunction_rule(self, toy_graph):
+        # family rule on the toy graph: surname AND address
+        pairs = pairs_sharing(toy_graph, "user", "surname", ("address",))
+        assert pairs == {("Alice", "Bob")}
+
+    def test_disjunction_in_second_position(self, toy_graph):
+        # school AND (major OR hobby): Kate/Jay (major), Bob/Tom (major)
+        pairs = pairs_sharing(toy_graph, "user", "school", ("major", "hobby"))
+        assert pairs == {("Jay", "Kate"), ("Bob", "Tom")}
+
+    def test_no_pairs_without_second_attribute(self, toy_graph):
+        # employer AND surname: Kate/Alice share employer but not surname
+        pairs = pairs_sharing(toy_graph, "user", "employer", ("surname",))
+        assert pairs == set()
+
+    def test_anchor_type_respected(self, toy_graph):
+        pairs = pairs_sharing(toy_graph, "school", "user", ("user",))
+        # two schools sharing a user would be required; none share users
+        assert pairs == set()

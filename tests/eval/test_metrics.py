@@ -1,0 +1,103 @@
+"""Tests for ranking metrics, incl. property tests on metric invariants."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    average_precision_at_k,
+    dcg_at_k,
+    ideal_dcg_at_k,
+    mean,
+    ndcg_at_k,
+    precision_at_k,
+    reciprocal_rank,
+)
+
+
+class TestNDCG:
+    def test_perfect_ranking(self):
+        assert ndcg_at_k(["a", "b", "c"], {"a", "b"}, k=10) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        ranked = ["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "a"]
+        assert ndcg_at_k(ranked, {"a"}, k=10) == 0.0
+
+    def test_single_relevant_at_position_two(self):
+        value = ndcg_at_k(["x", "a"], {"a"}, k=10)
+        assert value == pytest.approx((1 / math.log2(3)) / 1.0)
+
+    def test_empty_relevant(self):
+        assert ndcg_at_k(["a"], set(), k=10) == 0.0
+
+    def test_ideal_dcg(self):
+        assert ideal_dcg_at_k(3, 10) == pytest.approx(
+            1 + 1 / math.log2(3) + 1 / math.log2(4)
+        )
+        assert ideal_dcg_at_k(20, 10) == ideal_dcg_at_k(10, 10)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_range_and_monotone_under_improvement(self, seed):
+        rng = random.Random(seed)
+        items = [f"i{j}" for j in range(20)]
+        relevant = set(rng.sample(items, rng.randint(1, 10)))
+        ranked = items[:]
+        rng.shuffle(ranked)
+        base = ndcg_at_k(ranked, relevant, k=10)
+        assert 0.0 <= base <= 1.0
+        # moving a relevant item to the front never hurts
+        for item in ranked:
+            if item in relevant:
+                promoted = [item] + [x for x in ranked if x != item]
+                assert ndcg_at_k(promoted, relevant, k=10) >= base - 1e-12
+                break
+
+
+class TestMAP:
+    def test_perfect(self):
+        assert average_precision_at_k(["a", "b"], {"a", "b"}, k=10) == 1.0
+
+    def test_half(self):
+        # relevant at positions 1 and 3 of 3 -> (1 + 2/3)/2
+        value = average_precision_at_k(["a", "x", "b"], {"a", "b"}, k=10)
+        assert value == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    def test_no_relevant(self):
+        assert average_precision_at_k(["a"], set(), k=10) == 0.0
+
+    def test_truncation_at_k(self):
+        ranked = ["x"] * 10 + ["a"]
+        assert average_precision_at_k(ranked, {"a"}, k=10) == 0.0
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_range(self, seed):
+        rng = random.Random(seed)
+        items = [f"i{j}" for j in range(15)]
+        relevant = set(rng.sample(items, rng.randint(1, 5)))
+        rng.shuffle(items)
+        value = average_precision_at_k(items, relevant, k=10)
+        assert 0.0 <= value <= 1.0
+
+
+class TestOtherMetrics:
+    def test_precision(self):
+        assert precision_at_k(["a", "x"], {"a"}, k=2) == 0.5
+        assert precision_at_k([], {"a"}, k=0) == 0.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["x", "a"], {"a"}) == 0.5
+        assert reciprocal_rank(["x"], {"a"}) == 0.0
+
+    def test_dcg_positions(self):
+        assert dcg_at_k(["a", "b"], {"a", "b"}, k=2) == pytest.approx(
+            1.0 + 1 / math.log2(3)
+        )
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0

@@ -1,0 +1,160 @@
+"""Tests for the experiment harness (quick scale).
+
+Each experiment must regenerate its table/figure rows with the paper's
+qualitative shape.  The heavy offline phase is shared module-wide.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    QUICK_CONFIG,
+    OfflineRunner,
+    fig4,
+    fig6_7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table2,
+    table3,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    shared = OfflineRunner(QUICK_CONFIG)
+    shared.offline("linkedin")
+    shared.offline("facebook")
+    return shared
+
+
+class TestRunnerCaching:
+    def test_offline_cached(self, runner):
+        a = runner.offline("linkedin")
+        b = runner.offline("linkedin")
+        assert a is b
+
+    def test_offline_artifacts_consistent(self, runner):
+        phase = runner.offline("linkedin")
+        assert phase.vectors.matched_ids == frozenset(phase.catalog.ids())
+        assert set(phase.per_metagraph_seconds) == set(phase.catalog.ids())
+
+    def test_trainer_config_applied(self, runner):
+        trainer = runner.trainer()
+        assert trainer.config.restarts == QUICK_CONFIG.trainer_restarts
+
+
+class TestTable2:
+    def test_rows(self, runner):
+        rows = table2.run(QUICK_CONFIG, runner)
+        assert [row["dataset"] for row in rows] == ["linkedin", "facebook"]
+        li, fb = rows
+        assert fb["#Types"] == 10 and li["#Types"] == 4
+        # Table II shape: Facebook's richer schema yields more metagraphs
+        assert fb["#Metagraphs"] > li["#Metagraphs"]
+
+    def test_render(self, runner):
+        text = table2.main(QUICK_CONFIG, runner)
+        assert "Table II" in text and "linkedin" in text
+
+
+class TestTable3:
+    def test_shape(self, runner):
+        rows = table3.run(QUICK_CONFIG, runner)
+        for row in rows:
+            # online testing is orders of magnitude below offline work
+            assert float(row["Testing per query (s)"]) < row["Matching (s)"]
+
+
+class TestFig4:
+    def test_long_tail(self, runner):
+        rows = fig4.run(QUICK_CONFIG, runner)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["#w<0.1"] > row["|M|"] // 2  # majority insignificant
+
+    def test_series_lengths(self, runner):
+        series = fig4.ranked_weight_series(QUICK_CONFIG, runner)
+        assert len(series) == 4
+        for points in series.values():
+            ranks = [r for r, _w in points]
+            assert ranks == sorted(ranks)
+            weights = [w for _r, w in points]
+            assert weights == sorted(weights, reverse=True)
+
+
+class TestFig6_7:
+    def test_panel_shape(self, runner):
+        ndcg, map_ = fig6_7.run_panel(runner, "linkedin", "college")
+        assert set(ndcg) == set(fig6_7.ALGORITHMS)
+        for series in (ndcg, map_):
+            for algorithm, points in series.items():
+                assert [x for x, _ in points] == list(QUICK_CONFIG.omega_sizes)
+                assert all(0.0 <= y <= 1.0 for _x, y in points)
+
+    def test_mgp_beats_uniform(self, runner):
+        ndcg, _map = fig6_7.run_panel(runner, "linkedin", "college")
+        top = dict(ndcg["MGP"])[max(QUICK_CONFIG.omega_sizes)]
+        uniform = dict(ndcg["MGP-U"])[max(QUICK_CONFIG.omega_sizes)]
+        assert top > uniform
+
+
+class TestFig8:
+    def test_anchors_present(self, runner):
+        rows = fig8.run(QUICK_CONFIG, runner)
+        k_values = {row["|K|"] for row in rows}
+        assert 0 in k_values and "all" in k_values
+
+    def test_time_increases_with_k(self, runner):
+        rows = [r for r in fig8.run(QUICK_CONFIG, runner)
+                if r["dataset"] == "facebook" and r["class"] == "family"]
+        numeric = [
+            float(r["Time incr"].rstrip("%"))
+            for r in rows
+            if isinstance(r["|K|"], int)
+        ]
+        assert numeric == sorted(numeric)
+
+
+class TestFig9:
+    def test_bins_in_range(self, runner):
+        rows = fig9.run(QUICK_CONFIG, runner)
+        for row in rows:
+            values = [v for k, v in row.items() if k.startswith("SS ")]
+            for value in values:
+                if value != "n/a":
+                    assert 0.0 <= value <= 1.0
+
+
+class TestFig10:
+    def test_ch_at_least_rch_on_average(self, runner):
+        rows = fig10.run(QUICK_CONFIG, runner)
+        ch = sum(row["CH NDCG"] for row in rows)
+        rch = sum(row["RCH NDCG"] for row in rows)
+        assert ch >= rch - 1e-9
+
+
+class TestFig11:
+    def test_engines_agree_column(self, runner):
+        rows = fig11.run(QUICK_CONFIG, runner)
+        assert rows
+        assert all(row["engines agree"] for row in rows)
+
+    def test_sizes_in_catalog_range(self, runner):
+        rows = fig11.run(QUICK_CONFIG, runner)
+        assert all(3 <= row["|V_M|"] <= QUICK_CONFIG.max_nodes for row in rows)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        expected = {
+            "table2", "table3", "fig4", "fig6", "fig7", "fig6_7",
+            "fig8", "fig9", "fig10", "fig11",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    @pytest.mark.parametrize("name", ["table2", "fig9"])
+    def test_renderers_return_text(self, runner, name):
+        text = EXPERIMENTS[name](QUICK_CONFIG, runner)
+        assert isinstance(text, str) and text

@@ -1,0 +1,86 @@
+"""Tests for report formatting and the CLI argument layer."""
+
+import pytest
+
+from repro.cli import build_parser, config_from_args
+from repro.experiments.config import QUICK_CONFIG, ExperimentConfig
+from repro.experiments.reporting import format_series, format_table, percent
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "22" in lines[4]  # title, header, separator, row1, row2
+
+    def test_missing_cells(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.123456}, {"v": 12345.6}, {"v": 0.0}])
+        assert "0.1235" in text
+        assert "1.23e+04" in text or "12345" in text.replace(",", "")
+
+    def test_column_order_preserved(self):
+        text = format_table([{"z": 1, "a": 2}])
+        header = text.splitlines()[0]
+        assert header.index("z") < header.index("a")
+
+
+class TestFormatSeries:
+    def test_layout(self):
+        text = format_series(
+            {"MGP": [(10, 0.5), (100, 0.6)], "MPP": [(10, 0.4)]},
+            x_label="|Omega|",
+            y_label="NDCG",
+            title="Fig",
+        )
+        assert "|Omega|" in text
+        assert "MGP" in text and "MPP" in text
+        assert "NDCG" in text
+
+    def test_percent(self):
+        assert percent(0.153) == "+15.3%"
+        assert percent(-0.5) == "-50.0%"
+
+
+class TestCli:
+    def test_default_config(self):
+        args = build_parser().parse_args(["table2"])
+        config = config_from_args(args)
+        assert config == ExperimentConfig()
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["table2", "--quick"])
+        assert config_from_args(args) == QUICK_CONFIG
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig8", "--quick", "--scale", "medium", "--splits", "7", "--seed", "9"]
+        )
+        config = config_from_args(args)
+        assert config.scale == "medium"
+        assert config.num_splits == 7
+        assert config.seed == 9
+        # non-overridden quick fields survive
+        assert config.max_nodes == QUICK_CONFIG.max_nodes
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_main_runs_table2_quick(self, capsys):
+        from repro.cli import main
+
+        assert main(["table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "completed in" in out

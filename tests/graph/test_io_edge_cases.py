@@ -1,0 +1,56 @@
+"""Edge-case IO tests: exotic node ids and round-trip fidelity."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.io import from_json, to_json
+from repro.graph.typed_graph import TypedGraph
+from tests.conftest import random_typed_graph
+
+
+class TestExoticNodeIds:
+    def test_integer_ids_round_trip(self):
+        g = TypedGraph()
+        g.add_node(1, "user")
+        g.add_node(2, "user")
+        g.add_node(10, "school")
+        g.add_edge(1, 10)
+        g.add_edge(2, 10)
+        restored = from_json(to_json(g))
+        assert restored == g
+
+    def test_tuple_ids_round_trip_as_tuples(self):
+        g = TypedGraph()
+        g.add_node(("user", 1), "user")
+        g.add_node(("school", 1), "school")
+        g.add_edge(("user", 1), ("school", 1))
+        restored = from_json(to_json(g))
+        assert ("user", 1) in restored
+        assert restored.has_edge(("user", 1), ("school", 1))
+
+    def test_unicode_ids(self):
+        g = TypedGraph()
+        g.add_node("Алиса", "user")
+        g.add_node("Köln", "location")
+        g.add_edge("Алиса", "Köln")
+        assert from_json(to_json(g)) == g
+
+
+class TestRoundTripProperty:
+    @given(st.integers(0, 3000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs_round_trip(self, seed):
+        g = random_typed_graph(seed, num_users=8, num_attrs_per_type=3)
+        restored = from_json(to_json(g))
+        assert restored == g
+        assert restored.types == g.types
+        for node in g.nodes():
+            assert restored.degree(node) == g.degree(node)
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=15, deadline=None)
+    def test_serialisation_deterministic(self, seed):
+        g = random_typed_graph(seed, num_users=6, num_attrs_per_type=2)
+        assert to_json(g) == to_json(g.copy())

@@ -1,0 +1,207 @@
+"""Tests for GraphSchema, GraphBuilder and graph serialisation."""
+
+import pytest
+
+from repro.exceptions import GraphError, SchemaError
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import (
+    from_json,
+    from_networkx,
+    from_tsv,
+    load_json,
+    save_json,
+    to_json,
+    to_networkx,
+    to_tsv,
+)
+from repro.graph.schema import GraphSchema
+from repro.graph.typed_graph import TypedGraph
+
+
+@pytest.fixture
+def schema() -> GraphSchema:
+    return GraphSchema(
+        types=["user", "school", "hobby"],
+        edge_pairs=[("user", "school"), ("user", "hobby"), ("user", "user")],
+    )
+
+
+class TestSchema:
+    def test_allows_edge_is_symmetric(self, schema):
+        assert schema.allows_edge("user", "school")
+        assert schema.allows_edge("school", "user")
+
+    def test_disallowed_edge(self, schema):
+        assert not schema.allows_edge("school", "hobby")
+
+    def test_same_type_pair(self, schema):
+        assert schema.allows_edge("user", "user")
+
+    def test_empty_types_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema(types=[], edge_pairs=[])
+
+    def test_unknown_type_in_pair_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema(types=["user"], edge_pairs=[("user", "ghost")])
+
+    def test_validate_graph_accepts_conforming(self, schema):
+        g = TypedGraph()
+        g.add_node("a", "user")
+        g.add_node("s", "school")
+        g.add_edge("a", "s")
+        schema.validate_graph(g)  # should not raise
+
+    def test_validate_graph_rejects_bad_type(self, schema):
+        g = TypedGraph()
+        g.add_node("x", "alien")
+        with pytest.raises(SchemaError):
+            schema.validate_graph(g)
+
+    def test_validate_graph_rejects_bad_edge(self, schema):
+        g = TypedGraph()
+        g.add_node("s", "school")
+        g.add_node("h", "hobby")
+        g.add_edge("s", "h")
+        with pytest.raises(SchemaError):
+            schema.validate_graph(g)
+
+    def test_infer_round_trip(self, schema):
+        g = TypedGraph()
+        g.add_node("a", "user")
+        g.add_node("s", "school")
+        g.add_edge("a", "s")
+        inferred = GraphSchema.infer(g)
+        assert inferred.types == frozenset({"user", "school"})
+        assert inferred.edge_pairs == frozenset({("school", "user")})
+
+    def test_infer_empty_graph_raises(self):
+        with pytest.raises(SchemaError):
+            GraphSchema.infer(TypedGraph())
+
+    def test_equality(self, schema):
+        same = GraphSchema(
+            types=["user", "school", "hobby"],
+            edge_pairs=[("school", "user"), ("hobby", "user"), ("user", "user")],
+        )
+        assert schema == same
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        g = (
+            GraphBuilder(name="b")
+            .node("a", "user")
+            .node("s", "school")
+            .edge("a", "s")
+            .build()
+        )
+        assert g.num_edges == 1
+        assert g.name == "b"
+
+    def test_attach_creates_attribute(self):
+        builder = GraphBuilder()
+        builder.node("a", "user").attach("a", "CS", "major")
+        g = builder.build()
+        assert g.node_type("CS") == "major"
+        assert g.has_edge("a", "CS")
+
+    def test_attach_reuses_attribute(self):
+        builder = GraphBuilder()
+        builder.node("a", "user").node("b", "user")
+        builder.attach("a", "CS", "major").attach("b", "CS", "major")
+        g = builder.build()
+        assert g.count_type("major") == 1
+        assert g.degree("CS") == 2
+
+    def test_schema_enforced_on_node(self, schema):
+        builder = GraphBuilder(schema=schema)
+        with pytest.raises(SchemaError):
+            builder.node("x", "alien")
+
+    def test_schema_enforced_on_edge(self, schema):
+        builder = GraphBuilder(schema=schema)
+        builder.node("s", "school").node("h", "hobby")
+        with pytest.raises(SchemaError):
+            builder.edge("s", "h")
+
+    def test_build_validates_live_mutations(self, schema):
+        builder = GraphBuilder(schema=schema)
+        builder.node("s", "school").node("h", "hobby")
+        builder.graph.add_edge("s", "h")  # around the builder
+        with pytest.raises(SchemaError):
+            builder.build()
+
+
+class TestJsonIO:
+    def test_round_trip(self, toy_graph):
+        text = to_json(toy_graph)
+        restored = from_json(text)
+        assert restored == toy_graph
+        assert restored.name == "toy"
+
+    def test_file_round_trip(self, toy_graph, tmp_path):
+        path = tmp_path / "g.json"
+        save_json(toy_graph, path)
+        assert load_json(path) == toy_graph
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(GraphError):
+            from_json("{not json")
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(GraphError):
+            from_json('{"nodes": []}')
+
+    def test_malformed_node_entry(self):
+        with pytest.raises(GraphError):
+            from_json('{"nodes": [["a"]], "edges": []}')
+
+    def test_malformed_edge_entry(self):
+        with pytest.raises(GraphError):
+            from_json('{"nodes": [["a", "user"]], "edges": [["a"]]}')
+
+
+class TestTsvIO:
+    def test_round_trip(self, toy_graph):
+        assert from_tsv(to_tsv(toy_graph)) == toy_graph
+
+    def test_non_string_ids_rejected(self):
+        g = TypedGraph()
+        g.add_node(1, "user")
+        with pytest.raises(GraphError):
+            to_tsv(g)
+
+    def test_line_before_section_raises(self):
+        with pytest.raises(GraphError):
+            from_tsv("a\tuser\n")
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphError):
+            from_tsv("#nodes\na user with spaces no tab\n")
+
+
+class TestNetworkxIO:
+    def test_round_trip(self, toy_graph):
+        assert from_networkx(to_networkx(toy_graph)) == toy_graph
+
+    def test_type_attribute_preserved(self, toy_graph):
+        nxg = to_networkx(toy_graph)
+        assert nxg.nodes["Alice"]["type"] == "user"
+
+    def test_missing_type_attribute_raises(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_node("a")
+        with pytest.raises(GraphError):
+            from_networkx(nxg)
+
+    def test_self_loops_dropped(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_node("a", type="user")
+        nxg.add_edge("a", "a")
+        g = from_networkx(nxg)
+        assert g.num_edges == 0

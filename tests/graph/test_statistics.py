@@ -1,0 +1,43 @@
+"""Tests for graph statistics (Table II support)."""
+
+from repro.graph.statistics import degree_histogram, graph_statistics
+from repro.graph.typed_graph import TypedGraph
+
+
+class TestGraphStatistics:
+    def test_toy_counts(self, toy_graph):
+        stats = graph_statistics(toy_graph)
+        assert stats.num_nodes == toy_graph.num_nodes
+        assert stats.num_edges == toy_graph.num_edges
+        assert stats.num_types == 7  # user + 6 attribute types in Fig. 1
+        assert stats.nodes_per_type["user"] == 5
+
+    def test_mean_degree(self, toy_graph):
+        stats = graph_statistics(toy_graph)
+        expected = 2 * toy_graph.num_edges / toy_graph.num_nodes
+        assert abs(stats.mean_degree - expected) < 1e-9
+
+    def test_empty_graph(self):
+        stats = graph_statistics(TypedGraph(name="empty"))
+        assert stats.num_nodes == 0
+        assert stats.num_edges == 0
+        assert stats.mean_degree == 0.0
+
+    def test_as_row_has_table2_columns(self, toy_graph):
+        row = graph_statistics(toy_graph).as_row()
+        for column in ("#Nodes", "#Edges", "#Types"):
+            assert column in row
+
+
+class TestDegreeHistogram:
+    def test_total_matches_node_count(self, toy_graph):
+        hist = degree_histogram(toy_graph)
+        assert sum(hist.values()) == toy_graph.num_nodes
+
+    def test_restricted_to_type(self, toy_graph):
+        hist = degree_histogram(toy_graph, node_type="user")
+        assert sum(hist.values()) == 5
+
+    def test_sorted_keys(self, toy_graph):
+        keys = list(degree_histogram(toy_graph).keys())
+        assert keys == sorted(keys)

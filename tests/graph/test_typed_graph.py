@@ -1,0 +1,173 @@
+"""Unit tests for the TypedGraph substrate."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateNodeError,
+    EdgeError,
+    NodeNotFoundError,
+)
+from repro.graph.typed_graph import TypedGraph, edge_key
+
+
+@pytest.fixture
+def small() -> TypedGraph:
+    g = TypedGraph(name="small")
+    g.add_node("a", "user")
+    g.add_node("b", "user")
+    g.add_node("s", "school")
+    g.add_edge("a", "s")
+    g.add_edge("b", "s")
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, small):
+        assert small.num_nodes == 3
+        assert small.num_edges == 2
+
+    def test_contains_and_len(self, small):
+        assert "a" in small
+        assert "zzz" not in small
+        assert len(small) == 3
+
+    def test_readd_same_type_is_noop(self, small):
+        small.add_node("a", "user")
+        assert small.num_nodes == 3
+
+    def test_readd_different_type_raises(self, small):
+        with pytest.raises(DuplicateNodeError):
+            small.add_node("a", "school")
+
+    def test_self_loop_rejected(self, small):
+        with pytest.raises(EdgeError):
+            small.add_edge("a", "a")
+
+    def test_edge_to_missing_node_raises(self, small):
+        with pytest.raises(NodeNotFoundError):
+            small.add_edge("a", "missing")
+
+    def test_duplicate_edge_is_noop(self, small):
+        small.add_edge("a", "s")
+        assert small.num_edges == 2
+
+    def test_empty_type_rejected(self):
+        g = TypedGraph()
+        with pytest.raises(EdgeError):
+            g.add_node("x", "")
+
+
+class TestQueries:
+    def test_node_type(self, small):
+        assert small.node_type("s") == "school"
+        with pytest.raises(NodeNotFoundError):
+            small.node_type("nope")
+
+    def test_neighbors(self, small):
+        assert small.neighbors("s") == frozenset({"a", "b"})
+
+    def test_neighbors_of_type(self, small):
+        assert small.neighbors_of_type("s", "user") == frozenset({"a", "b"})
+        assert small.neighbors_of_type("s", "hobby") == frozenset()
+
+    def test_degree(self, small):
+        assert small.degree("s") == 2
+        assert small.typed_degree("a", "school") == 1
+        assert small.typed_degree("a", "hobby") == 0
+
+    def test_types(self, small):
+        assert small.types == frozenset({"user", "school"})
+
+    def test_nodes_of_type(self, small):
+        assert small.nodes_of_type("user") == frozenset({"a", "b"})
+        assert small.nodes_of_type("unknown") == frozenset()
+
+    def test_count_type(self, small):
+        assert small.count_type("user") == 2
+
+    def test_has_edge(self, small):
+        assert small.has_edge("a", "s")
+        assert small.has_edge("s", "a")
+        assert not small.has_edge("a", "b")
+
+    def test_edges_enumerated_once(self, small):
+        edges = list(small.edges())
+        assert len(edges) == 2
+        assert len(set(edges)) == 2
+
+    def test_edge_type_pair_sorted(self, small):
+        assert small.edge_type_pair("s", "a") == ("school", "user")
+
+    def test_observed_type_pairs(self, small):
+        assert small.observed_type_pairs() == frozenset({("school", "user")})
+
+
+class TestMutation:
+    def test_remove_edge(self, small):
+        small.remove_edge("a", "s")
+        assert not small.has_edge("a", "s")
+        assert small.num_edges == 1
+        assert small.neighbors_of_type("s", "user") == frozenset({"b"})
+
+    def test_remove_missing_edge_raises(self, small):
+        with pytest.raises(EdgeError):
+            small.remove_edge("a", "b")
+
+    def test_remove_node_cascades(self, small):
+        small.remove_node("s")
+        assert "s" not in small
+        assert small.num_edges == 0
+        assert small.neighbors("a") == frozenset()
+
+    def test_remove_last_node_of_type_clears_type(self, small):
+        small.remove_node("s")
+        assert small.types == frozenset({"user"})
+
+    def test_remove_missing_node_raises(self, small):
+        with pytest.raises(NodeNotFoundError):
+            small.remove_node("nope")
+
+
+class TestDerived:
+    def test_induced_subgraph(self, small):
+        sub = small.induced_subgraph(["a", "s"])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.has_edge("a", "s")
+
+    def test_induced_subgraph_drops_outside_edges(self, small):
+        sub = small.induced_subgraph(["a", "b"])
+        assert sub.num_edges == 0
+
+    def test_copy_is_independent(self, small):
+        dup = small.copy()
+        dup.remove_node("s")
+        assert "s" in small
+        assert small.num_edges == 2
+
+    def test_equality(self, small):
+        assert small == small.copy()
+        other = small.copy()
+        other.remove_edge("a", "s")
+        assert small != other
+
+    def test_repr_mentions_counts(self, small):
+        assert "3 nodes" in repr(small)
+
+
+class TestEdgeKey:
+    def test_sorted_for_comparable(self):
+        assert edge_key(2, 1) == (1, 2)
+        assert edge_key("b", "a") == ("a", "b")
+
+    def test_mixed_types_deterministic(self):
+        k1 = edge_key("a", 1)
+        k2 = edge_key(1, "a")
+        assert k1 == k2
+
+    def test_typed_adjacency_is_live_view(self, small):
+        view = small.typed_adjacency("s")
+        assert view["user"] == {"a", "b"}
+        small.add_node("c", "user")
+        small.add_edge("c", "s")
+        assert view["user"] == {"a", "b", "c"}

@@ -1,0 +1,59 @@
+"""Tests for vector-store persistence (save/load of the offline artefact)."""
+
+import numpy as np
+import pytest
+
+from repro.index.transform import log1p
+from repro.index.vectors import MetagraphVectors, build_vectors
+from repro.metagraph.catalog import MetagraphCatalog
+
+
+@pytest.fixture
+def store(toy_graph, toy_metagraphs):
+    catalog = MetagraphCatalog(toy_metagraphs.values(), anchor_type="user")
+    vectors, _ = build_vectors(toy_graph, catalog)
+    return vectors
+
+
+class TestPersistence:
+    def test_round_trip_vectors(self, store, tmp_path):
+        path = tmp_path / "vectors.json"
+        store.save(path)
+        restored = MetagraphVectors.load(path)
+        assert restored.catalog_size == store.catalog_size
+        assert restored.anchor_type == store.anchor_type
+        assert restored.matched_ids == store.matched_ids
+        for user in ("Alice", "Bob", "Kate", "Jay", "Tom"):
+            assert np.array_equal(
+                restored.node_vector(user), store.node_vector(user)
+            )
+        assert np.array_equal(
+            restored.pair_vector("Alice", "Bob"),
+            store.pair_vector("Alice", "Bob"),
+        )
+
+    def test_partners_restored(self, store, tmp_path):
+        path = tmp_path / "vectors.json"
+        store.save(path)
+        restored = MetagraphVectors.load(path)
+        for user in ("Alice", "Bob", "Kate"):
+            assert restored.partners(user) == store.partners(user)
+
+    def test_transform_reapplied_on_load(self, store, tmp_path):
+        path = tmp_path / "vectors.json"
+        store.save(path)
+        restored = MetagraphVectors.load(path, transform=log1p)
+        raw = store.pair_vector("Alice", "Bob")
+        transformed = restored.pair_vector("Alice", "Bob")
+        nonzero = raw > 0
+        assert np.allclose(transformed[nonzero], np.log1p(raw[nonzero]))
+
+    def test_loaded_store_usable_by_model(self, store, tmp_path):
+        from repro.learning.model import ProximityModel
+
+        path = tmp_path / "vectors.json"
+        store.save(path)
+        restored = MetagraphVectors.load(path)
+        model = ProximityModel(np.ones(restored.catalog_size), restored)
+        ranking = model.rank("Bob", universe=["Alice", "Kate", "Jay", "Tom"])
+        assert ranking[0][1] > 0

@@ -1,0 +1,191 @@
+"""Tests for canonical forms and symmetry (Def. 1), incl. property tests."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metagraph.canonical import are_isomorphic, canonical_form, canonicalize
+from repro.metagraph.metagraph import Metagraph, metapath
+from repro.metagraph.symmetry import (
+    anchor_symmetric_pairs,
+    automorphisms,
+    is_involution,
+    is_symmetric,
+    orbits,
+    symmetric_pairs,
+    symmetric_partners,
+)
+
+TYPES = ["user", "school", "hobby"]
+
+
+def random_metagraph(rng: random.Random, max_nodes: int = 5) -> Metagraph:
+    """A random connected typed pattern."""
+    n = rng.randint(1, max_nodes)
+    types = [rng.choice(TYPES) for _ in range(n)]
+    edges = set()
+    for i in range(1, n):  # random spanning tree keeps it connected
+        edges.add((rng.randrange(i), i))
+    extra = rng.randint(0, n)
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Metagraph(types, edges)
+
+
+def random_permutation(rng: random.Random, n: int) -> list[int]:
+    perm = list(range(n))
+    rng.shuffle(perm)
+    return perm
+
+
+class TestCanonicalForm:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_under_relabelling(self, seed):
+        rng = random.Random(seed)
+        m = random_metagraph(rng)
+        perm = random_permutation(rng, m.size)
+        assert canonical_form(m) == canonical_form(m.relabeled(perm))
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_canonicalize_idempotent(self, seed):
+        m = random_metagraph(random.Random(seed))
+        c = canonicalize(m)
+        assert canonicalize(c) == c
+        assert canonical_form(c) == canonical_form(m)
+
+    def test_isomorphic_relabellings_detected(self):
+        a = metapath("user", "school", "user")
+        b = Metagraph(["school", "user", "user"], [(0, 1), (0, 2)])
+        assert are_isomorphic(a, b)
+
+    def test_non_isomorphic_same_types(self):
+        path = metapath("user", "user", "user")
+        triangle = Metagraph(
+            ["user", "user", "user"], [(0, 1), (1, 2), (0, 2)]
+        )
+        assert not are_isomorphic(path, triangle)
+
+    def test_different_type_multisets(self):
+        a = metapath("user", "school", "user")
+        b = metapath("user", "hobby", "user")
+        assert not are_isomorphic(a, b)
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(metapath("user"), metapath("user", "user"))
+
+
+class TestAutomorphisms:
+    def test_identity_always_present(self):
+        m = metapath("user", "school", "hobby")
+        assert tuple(range(3)) in automorphisms(m)
+
+    def test_symmetric_path(self):
+        m = metapath("user", "school", "user")
+        autos = set(automorphisms(m))
+        assert autos == {(0, 1, 2), (2, 1, 0)}
+
+    def test_asymmetric_path(self):
+        m = metapath("user", "school", "hobby")
+        assert automorphisms(m) == ((0, 1, 2),)
+
+    def test_group_closure(self):
+        # composition of automorphisms is an automorphism
+        m = Metagraph(
+            ["user", "school", "major", "user"],
+            [(0, 1), (0, 2), (3, 1), (3, 2)],
+        )
+        autos = set(automorphisms(m))
+        for a in autos:
+            for b in autos:
+                composed = tuple(a[b[i]] for i in range(m.size))
+                assert composed in autos
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_group_closure_random(self, seed):
+        m = random_metagraph(random.Random(seed), max_nodes=5)
+        autos = set(automorphisms(m))
+        assert tuple(range(m.size)) in autos
+        for a in autos:
+            inverse = [0] * m.size
+            for i, img in enumerate(a):
+                inverse[img] = i
+            assert tuple(inverse) in autos
+
+    def test_automorphisms_preserve_types(self):
+        m = Metagraph(
+            ["user", "user", "school"], [(0, 2), (1, 2), (0, 1)]
+        )
+        for sigma in automorphisms(m):
+            for u in range(m.size):
+                assert m.node_type(sigma[u]) == m.node_type(u)
+
+
+class TestSymmetry:
+    def test_m3_symmetric_pair(self):
+        m3 = metapath("user", "address", "user")
+        assert symmetric_pairs(m3) == frozenset({(0, 2)})
+        assert is_symmetric(m3)
+
+    def test_m1_symmetric(self, toy_metagraphs):
+        pairs = symmetric_pairs(toy_metagraphs["M1"])
+        assert (0, 3) in pairs
+
+    def test_asymmetric_metagraph(self):
+        m = metapath("user", "school", "hobby")
+        assert not is_symmetric(m)
+        assert symmetric_pairs(m) == frozenset()
+
+    def test_is_involution(self):
+        assert is_involution((1, 0, 2))
+        assert not is_involution((1, 2, 0))
+
+    def test_partners(self):
+        m = metapath("user", "address", "user")
+        partners = symmetric_partners(m)
+        assert partners[0] == frozenset({2})
+        assert partners[1] == frozenset()
+
+    def test_five_node_path_symmetry(self):
+        m = metapath("user", "hobby", "user", "hobby", "user")
+        pairs = symmetric_pairs(m)
+        assert (0, 4) in pairs
+        assert (1, 3) in pairs
+
+    def test_anchor_pairs_filter_type(self):
+        m = metapath("hobby", "user", "hobby")
+        assert symmetric_pairs(m) == frozenset({(0, 2)})
+        assert anchor_symmetric_pairs(m, "user") == frozenset()
+        assert anchor_symmetric_pairs(m, "hobby") == frozenset({(0, 2)})
+
+
+class TestOrbits:
+    def test_orbits_partition_nodes(self):
+        m = Metagraph(
+            ["user", "school", "major", "user"],
+            [(0, 1), (0, 2), (3, 1), (3, 2)],
+        )
+        obs = orbits(m)
+        all_nodes = sorted(n for orbit in obs for n in orbit)
+        assert all_nodes == list(range(m.size))
+
+    def test_symmetric_users_share_orbit(self):
+        m = metapath("user", "address", "user")
+        obs = orbits(m)
+        assert frozenset({0, 2}) in obs
+        assert frozenset({1}) in obs
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_orbit_members_same_type_and_degree(self, seed):
+        m = random_metagraph(random.Random(seed))
+        for orbit in orbits(m):
+            types = {m.node_type(u) for u in orbit}
+            degrees = {m.degree(u) for u in orbit}
+            assert len(types) == 1
+            assert len(degrees) == 1

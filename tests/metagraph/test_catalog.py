@@ -1,0 +1,108 @@
+"""Dedicated tests for MetagraphCatalog."""
+
+import pytest
+
+from repro.exceptions import CatalogMismatchError, MetagraphError
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.metagraph.metagraph import Metagraph, metapath
+
+
+@pytest.fixture
+def catalog(toy_metagraphs) -> MetagraphCatalog:
+    return MetagraphCatalog(toy_metagraphs.values(), anchor_type="user")
+
+
+class TestMembership:
+    def test_len_iter_getitem(self, catalog):
+        assert len(catalog) == 4
+        assert len(list(catalog)) == 4
+        assert catalog[0].size >= 3
+
+    def test_contains_up_to_isomorphism(self, catalog, toy_metagraphs):
+        relabelled = toy_metagraphs["M1"].relabeled([3, 2, 1, 0])
+        assert relabelled in catalog
+
+    def test_id_of_isomorphic(self, catalog, toy_metagraphs):
+        relabelled = toy_metagraphs["M3"].relabeled([2, 1, 0])
+        assert catalog.id_of(relabelled) == catalog.id_of(toy_metagraphs["M3"])
+
+    def test_add_if_new(self, catalog, toy_metagraphs):
+        mg_id, added = catalog.add_if_new(toy_metagraphs["M1"])
+        assert not added
+        assert mg_id == catalog.id_of(toy_metagraphs["M1"])
+        new = metapath("user", "hobby", "user")
+        mg_id, added = catalog.add_if_new(new)
+        assert added and mg_id == 4
+
+    def test_members_stored_canonically(self, catalog):
+        from repro.metagraph.canonical import canonicalize
+
+        for member in catalog:
+            assert member == canonicalize(member)
+
+    def test_auto_naming(self):
+        catalog = MetagraphCatalog()
+        catalog.add(metapath("user", "school", "user"))
+        assert catalog[0].name == "M0"
+
+    def test_explicit_name_preserved(self):
+        catalog = MetagraphCatalog()
+        catalog.add(metapath("user", "school", "user", name="seed"))
+        assert catalog[0].name == "seed"
+
+
+class TestStructuralQueries:
+    def test_metapath_split(self, catalog):
+        paths = set(catalog.metapath_ids())
+        non_paths = set(catalog.non_metapath_ids())
+        assert paths | non_paths == set(catalog.ids())
+        assert not paths & non_paths
+        assert len(paths) == 1  # only M3 is a path
+
+    def test_symmetric_ids(self, catalog):
+        assert set(catalog.symmetric_ids()) == set(catalog.ids())
+
+    def test_anchor_pair_ids(self, catalog):
+        assert set(catalog.anchor_pair_ids()) == set(catalog.ids())
+
+    def test_anchor_pair_ids_respect_anchor_type(self, toy_metagraphs):
+        catalog = MetagraphCatalog(
+            toy_metagraphs.values(), anchor_type="school"
+        )
+        assert catalog.anchor_pair_ids() == ()
+
+    def test_subset_reindexes(self, catalog):
+        sub = catalog.subset([2, 3])
+        assert len(sub) == 2
+        assert sub.anchor_type == "user"
+        assert sub.id_of(catalog[2]) == 0
+
+    def test_verify_compatible(self, catalog):
+        catalog.verify_compatible(4)
+        with pytest.raises(CatalogMismatchError):
+            catalog.verify_compatible(5)
+
+
+class TestSerialisation:
+    def test_json_round_trip(self, catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+        restored = MetagraphCatalog.load(path)
+        assert len(restored) == len(catalog)
+        assert restored.anchor_type == catalog.anchor_type
+        for mg_id in catalog.ids():
+            assert restored[mg_id] == catalog[mg_id]
+            assert restored[mg_id].name == catalog[mg_id].name
+
+    def test_duplicate_in_json_rejected(self):
+        catalog = MetagraphCatalog([metapath("user", "school", "user")])
+        text = catalog.to_json()
+        import json
+
+        doc = json.loads(text)
+        doc["metagraphs"].append(doc["metagraphs"][0])
+        with pytest.raises(MetagraphError):
+            MetagraphCatalog.from_json(json.dumps(doc))
+
+    def test_repr(self, catalog):
+        assert "4 metagraphs" in repr(catalog)

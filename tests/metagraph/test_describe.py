@@ -1,0 +1,61 @@
+"""Tests for human-readable metagraph descriptions."""
+
+import numpy as np
+
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.metagraph.describe import describe, describe_weights
+from repro.metagraph.metagraph import Metagraph, metapath
+
+
+class TestDescribe:
+    def test_shared_single_attribute(self):
+        assert describe(metapath("user", "address", "user")) == (
+            "two users sharing an address"
+        )
+
+    def test_shared_two_attributes(self):
+        m = Metagraph(
+            ["user", "school", "major", "user"],
+            [(0, 1), (0, 2), (3, 1), (3, 2)],
+        )
+        assert describe(m) == "two users sharing a major and a school"
+
+    def test_connected_users(self):
+        m = Metagraph(["user", "user", "school"], [(0, 1), (0, 2), (1, 2)])
+        assert describe(m) == "two connected users sharing school"
+
+    def test_plain_path(self):
+        m = metapath("user", "school", "hobby")
+        assert describe(m).startswith("path ")
+        assert "school" in describe(m)
+
+    def test_fallback_listing(self):
+        m = Metagraph(
+            ["school", "user", "user", "user"], [(0, 1), (0, 2), (0, 3)]
+        )
+        text = describe(m)
+        assert "3x user" in text and "school" in text
+
+    def test_anchor_type_parameter(self):
+        m = metapath("paper", "author", "paper")
+        assert describe(m, anchor_type="paper") == (
+            "two papers sharing an author"
+        )
+
+    def test_single_node(self):
+        assert describe(metapath("user")) == "path user"
+
+
+class TestDescribeWeights:
+    def test_top_weights_rendered(self, toy_metagraphs):
+        catalog = MetagraphCatalog(toy_metagraphs.values(), anchor_type="user")
+        weights = np.array([0.9, 0.0, 0.4, 0.02])
+        lines = describe_weights(catalog, weights, k=5)
+        assert len(lines) == 2  # 0.02 falls below min_weight
+        assert lines[0].startswith("w=0.90")
+        assert "sharing" in lines[0]
+
+    def test_empty_when_all_below_threshold(self, toy_metagraphs):
+        catalog = MetagraphCatalog(toy_metagraphs.values(), anchor_type="user")
+        lines = describe_weights(catalog, np.zeros(4))
+        assert lines == []

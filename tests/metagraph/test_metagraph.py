@@ -1,0 +1,161 @@
+"""Unit tests for the Metagraph value object."""
+
+import pytest
+
+from repro.exceptions import InvalidMetagraphError
+from repro.metagraph.metagraph import Metagraph, metapath
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = Metagraph(["user", "school", "user"], [(0, 1), (1, 2)])
+        assert m.size == 3
+        assert m.num_edges == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidMetagraphError):
+            Metagraph([], [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidMetagraphError):
+            Metagraph(["user"], [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(InvalidMetagraphError):
+            Metagraph(["user", "user"], [(0, 2)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(InvalidMetagraphError):
+            Metagraph(["user", "user", "school"], [(0, 1)])
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(InvalidMetagraphError):
+            Metagraph([""], [])
+
+    def test_single_node_allowed(self):
+        m = Metagraph(["user"], [])
+        assert m.size == 1
+        assert m.is_path
+
+    def test_duplicate_edges_collapse(self):
+        m = Metagraph(["user", "school"], [(0, 1), (1, 0)])
+        assert m.num_edges == 1
+
+
+class TestAccessors:
+    @pytest.fixture
+    def m1(self):
+        # Fig. 2a: two users sharing school and major
+        return Metagraph(
+            ["user", "school", "major", "user"],
+            [(0, 1), (0, 2), (3, 1), (3, 2)],
+            name="M1",
+        )
+
+    def test_node_type(self, m1):
+        assert m1.node_type(1) == "school"
+
+    def test_neighbors(self, m1):
+        assert m1.neighbors(0) == frozenset({1, 2})
+
+    def test_degree(self, m1):
+        assert m1.degree(0) == 2
+
+    def test_has_edge(self, m1):
+        assert m1.has_edge(0, 1)
+        assert m1.has_edge(1, 0)
+        assert not m1.has_edge(0, 3)
+        assert not m1.has_edge(0, 0)
+
+    def test_nodes_of_type(self, m1):
+        assert m1.nodes_of_type("user") == (0, 3)
+
+    def test_count_type(self, m1):
+        assert m1.count_type("user") == 2
+        assert m1.count_type("hobby") == 0
+
+    def test_type_multiset(self, m1):
+        assert m1.type_multiset == (("major", 1), ("school", 1), ("user", 2))
+
+    def test_not_path(self, m1):
+        assert not m1.is_path
+
+
+class TestMetapath:
+    def test_factory(self):
+        m = metapath("user", "address", "user")
+        assert m.is_path
+        assert m.types == ("user", "address", "user")
+
+    def test_longer_path(self):
+        m = metapath("user", "hobby", "user", "hobby", "user")
+        assert m.is_path
+        assert m.size == 5
+
+    def test_cycle_not_path(self):
+        m = Metagraph(["user", "school", "user"], [(0, 1), (1, 2), (0, 2)])
+        assert not m.is_path
+
+    def test_star_not_path(self):
+        m = Metagraph(
+            ["school", "user", "user", "user"], [(0, 1), (0, 2), (0, 3)]
+        )
+        assert not m.is_path
+
+
+class TestDerived:
+    def test_induced_on(self):
+        m = Metagraph(
+            ["user", "school", "major", "user"],
+            [(0, 1), (0, 2), (3, 1), (3, 2)],
+        )
+        sub = m.induced_on([0, 1, 3])
+        assert sub.size == 3
+        assert sub.types == ("user", "school", "user")
+        assert sub.num_edges == 2
+
+    def test_induced_disconnected_raises(self):
+        m = metapath("user", "school", "user")
+        with pytest.raises(InvalidMetagraphError):
+            m.induced_on([0, 2])
+
+    def test_relabeled_identity(self):
+        m = metapath("user", "school", "user")
+        assert m.relabeled([0, 1, 2]) == m
+
+    def test_relabeled_swap(self):
+        m = metapath("user", "school")
+        swapped = m.relabeled([1, 0])
+        assert swapped.types == ("school", "user")
+        assert swapped.edges == frozenset({(0, 1)})
+
+    def test_relabeled_invalid_permutation(self):
+        m = metapath("user", "school")
+        with pytest.raises(InvalidMetagraphError):
+            m.relabeled([0, 0])
+
+    def test_with_name(self):
+        m = metapath("user", "school", "user").with_name("seed")
+        assert m.name == "seed"
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = metapath("user", "school", "user")
+        b = metapath("user", "school", "user")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_name_does_not_affect_equality(self):
+        a = metapath("user", "school", "user", name="x")
+        b = metapath("user", "school", "user", name="y")
+        assert a == b
+
+    def test_labelled_inequality(self):
+        a = metapath("user", "school", "user")
+        b = Metagraph(["school", "user", "user"], [(0, 1), (0, 2)])
+        assert a != b  # isomorphic but differently labelled
+
+    def test_repr(self):
+        m = metapath("user", "school", name="P")
+        assert "P" in repr(m)

@@ -1,0 +1,102 @@
+"""Completeness and anti-monotonicity properties of the miner."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metagraph.canonical import canonical_form
+from repro.metagraph.metagraph import Metagraph
+from repro.mining.enumerate import enumerate_patterns
+from repro.mining.grami import GramiMiner, MinerConfig, mni_support
+from tests.conftest import random_typed_graph
+
+
+def brute_force_patterns(types, allowed_pairs, max_nodes):
+    """All connected typed patterns by exhaustive construction."""
+    found = set()
+    for n in range(2, max_nodes + 1):
+        for type_combo in itertools.product(types, repeat=n):
+            all_edges = list(itertools.combinations(range(n), 2))
+            for r in range(n - 1, len(all_edges) + 1):
+                for edge_set in itertools.combinations(all_edges, r):
+                    ok = all(
+                        tuple(sorted((type_combo[u], type_combo[v])))
+                        in allowed_pairs
+                        for u, v in edge_set
+                    )
+                    if not ok:
+                        continue
+                    try:
+                        pattern = Metagraph(type_combo, edge_set)
+                    except Exception:
+                        continue  # disconnected
+                    found.add(canonical_form(pattern))
+    return found
+
+
+class TestEnumerationCompleteness:
+    def test_matches_brute_force_two_types(self):
+        pairs = frozenset({("school", "user")})
+        enumerated = {
+            canonical_form(m)
+            for m in enumerate_patterns(pairs, max_nodes=4)
+        }
+        brute = brute_force_patterns(["school", "user"], pairs, max_nodes=4)
+        assert enumerated == brute
+
+    def test_matches_brute_force_with_self_pair(self):
+        pairs = frozenset({("user", "user"), ("hobby", "user")})
+        enumerated = {
+            canonical_form(m)
+            for m in enumerate_patterns(pairs, max_nodes=3)
+        }
+        brute = brute_force_patterns(["hobby", "user"], pairs, max_nodes=3)
+        assert enumerated == brute
+
+
+class TestMinerProperties:
+    @given(st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_anti_monotone_closure(self, seed):
+        """Every connected sub-pattern of a mined pattern is also mined.
+
+        MNI support is anti-monotone, so the frequent set must be closed
+        under taking connected subpatterns (of >= 2 nodes).
+        """
+        graph = random_typed_graph(seed, num_users=8, num_attrs_per_type=2)
+        config = MinerConfig(max_nodes=4, min_support=2)
+        result = GramiMiner(config).mine(graph)
+        mined = {canonical_form(m) for m in result.patterns}
+        for pattern in result.patterns:
+            if pattern.size <= 2:
+                continue
+            # remove each leaf node (keeps connectivity)
+            for node in pattern.nodes():
+                if pattern.degree(node) == 1:
+                    rest = [u for u in pattern.nodes() if u != node]
+                    sub = pattern.induced_on(rest)
+                    assert canonical_form(sub) in mined, (
+                        f"sub-pattern of mined pattern missing: {sub!r}"
+                    )
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_reported_support_meets_threshold(self, seed):
+        graph = random_typed_graph(seed, num_users=8, num_attrs_per_type=2)
+        config = MinerConfig(max_nodes=3, min_support=3)
+        result = GramiMiner(config).mine(graph)
+        for pattern in result.patterns:
+            estimate = mni_support(graph, pattern, threshold=3)
+            assert estimate.support >= 3
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=6, deadline=None)
+    def test_higher_support_mines_subset(self, seed):
+        graph = random_typed_graph(seed, num_users=8, num_attrs_per_type=2)
+        low = GramiMiner(MinerConfig(max_nodes=3, min_support=2)).mine(graph)
+        high = GramiMiner(MinerConfig(max_nodes=3, min_support=4)).mine(graph)
+        low_set = {canonical_form(m) for m in low.patterns}
+        high_set = {canonical_form(m) for m in high.patterns}
+        assert high_set <= low_set

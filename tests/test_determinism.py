@@ -1,0 +1,87 @@
+"""Determinism regression tests.
+
+Everything stochastic in the library is seeded; nothing may depend on
+Python's per-process hash randomisation (set/dict iteration order).
+These tests run pipeline stages in fresh subprocesses with different
+PYTHONHASHSEED values and require bit-identical artefacts.
+
+Regression context: label perturbation once iterated a raw set while
+consuming the RNG, so generated *labels* differed between processes —
+experiments were reproducible within a session but not across runs.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+SNIPPET = """
+import hashlib, json
+import numpy as np
+from repro.datasets import load_dataset
+from repro.mining import MinerConfig, mine_catalog
+from repro.index.vectors import build_vectors
+from repro.learning.examples import generate_triplets
+from repro.learning.trainer import Trainer, TrainerConfig
+
+ds = load_dataset("linkedin", scale="tiny")
+labels = ds.class_labels("college")
+label_digest = hashlib.md5(repr(sorted(
+    (q, tuple(sorted(v))) for q, v in labels.items()
+)).encode()).hexdigest()
+
+catalog = mine_catalog(ds.graph, MinerConfig(max_nodes=3, min_support=3))
+catalog_digest = hashlib.md5(catalog.to_json().encode()).hexdigest()
+
+vectors, _ = build_vectors(ds.graph, catalog)
+pairs = sorted(
+    (repr(x), repr(y))
+    for x in list(ds.universe)[:6]
+    for y in list(ds.universe)[:6]
+    if repr(x) < repr(y)
+)
+vec_digest = hashlib.md5(b"".join(
+    vectors.pair_vector(x, y).tobytes() for x, y in pairs
+)).hexdigest()
+
+triplets = generate_triplets(
+    ds.queries("college")[:8], labels, ds.universe, 50, seed=0
+)
+triplet_digest = hashlib.md5(repr(triplets).encode()).hexdigest()
+
+weights = Trainer(TrainerConfig(restarts=2, max_iterations=150, seed=0)).train(
+    triplets, vectors
+)
+weight_digest = hashlib.md5(np.round(weights, 12).tobytes()).hexdigest()
+
+print(json.dumps({
+    "labels": label_digest,
+    "catalog": catalog_digest,
+    "vectors": vec_digest,
+    "triplets": triplet_digest,
+    "weights": weight_digest,
+}))
+"""
+
+
+def _run_with_hashseed(seed: str) -> dict:
+    result = subprocess.run(
+        [sys.executable, "-c", SNIPPET],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.parametrize("other_seed", ["12345", "987654321"])
+def test_pipeline_invariant_under_hash_randomisation(other_seed):
+    baseline = _run_with_hashseed("0")
+    other = _run_with_hashseed(other_seed)
+    for stage in ("labels", "catalog", "vectors", "triplets", "weights"):
+        assert baseline[stage] == other[stage], (
+            f"stage {stage!r} depends on hash order"
+        )

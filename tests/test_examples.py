@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    """The README promises at least these runnable examples."""
+    assert {
+        "quickstart.py",
+        "friend_circles.py",
+        "citation_contexts.py",
+        "engine_shootout.py",
+        "search_service.py",
+    } <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{example} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{example} produced no output"
+
+
+def test_quickstart_produces_expected_rankings():
+    """The quickstart must reproduce Fig. 1(b)'s answers."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    out = result.stdout
+    # classmate: Kate -> Jay; family: Bob -> Alice
+    classmate_block = out.split("=== classmate ===")[1].split("===")[0]
+    assert "Kate -> Jay" in classmate_block
+    family_block = out.split("=== family ===")[1]
+    assert "Bob -> Alice" in family_block

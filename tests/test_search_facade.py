@@ -1,0 +1,89 @@
+"""Tests for the SemanticProximitySearch facade."""
+
+import pytest
+
+from repro import SemanticProximitySearch
+from repro.datasets.toy import toy_dataset, toy_metagraphs
+from repro.exceptions import LearningError
+from repro.learning.trainer import TrainerConfig
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.mining import MinerConfig
+
+
+@pytest.fixture(scope="module")
+def engine():
+    ds = toy_dataset()
+    spx = SemanticProximitySearch(
+        ds.graph,
+        miner_config=MinerConfig(max_nodes=4, min_support=1),
+        trainer_config=TrainerConfig(restarts=2, max_iterations=300, seed=0),
+    )
+    # use the known Fig. 2 catalog rather than mining (deterministic)
+    catalog = MetagraphCatalog(toy_metagraphs().values(), anchor_type="user")
+    spx.prepare(catalog=catalog)
+    return spx, ds
+
+
+class TestLifecycle:
+    def test_unprepared_fit_raises(self):
+        ds = toy_dataset()
+        spx = SemanticProximitySearch(ds.graph)
+        with pytest.raises(LearningError):
+            spx.fit("family", labels=ds.class_labels("family"))
+
+    def test_unknown_class_raises(self, engine):
+        spx, _ds = engine
+        with pytest.raises(LearningError):
+            spx.model("ghost-class")
+
+    def test_fit_requires_labels_or_triplets(self, engine):
+        spx, _ds = engine
+        with pytest.raises(LearningError):
+            spx.fit("broken")
+
+    def test_prepare_mines_when_no_catalog(self):
+        ds = toy_dataset()
+        spx = SemanticProximitySearch(
+            ds.graph, miner_config=MinerConfig(max_nodes=3, min_support=2)
+        )
+        spx.prepare()
+        assert spx.catalog is not None and len(spx.catalog) > 0
+
+
+class TestQueries:
+    def test_fit_and_query_family(self, engine):
+        spx, ds = engine
+        spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        ranking = spx.query("family", "Bob", k=3)
+        assert ranking[0][0] == "Alice"
+
+    def test_fit_from_triplets(self, engine):
+        spx, _ds = engine
+        triplets = [("Kate", "Jay", "Alice"), ("Bob", "Tom", "Alice")]
+        model = spx.fit("classmates", triplets=triplets)
+        assert spx.proximity("classmates", "Kate", "Jay") > 0
+        assert model.name == "classmates"
+
+    def test_classes_listing(self, engine):
+        spx, ds = engine
+        spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        assert "family" in spx.classes
+
+    def test_explain_returns_metagraphs(self, engine):
+        spx, ds = engine
+        spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        explanation = spx.explain("family", "Bob", "Alice", k=3)
+        assert explanation
+        types_seen = {t for mg, _c in explanation for t in mg.types}
+        assert "surname" in types_seen or "address" in types_seen
+
+    def test_proximity_symmetry(self, engine):
+        spx, ds = engine
+        spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        assert spx.proximity("family", "Bob", "Alice") == spx.proximity(
+            "family", "Alice", "Bob"
+        )
+
+    def test_repr(self, engine):
+        spx, _ds = engine
+        assert "prepared=True" in repr(spx)
