@@ -1,13 +1,17 @@
-"""Command-line entry point: regenerate any table or figure.
+"""Command-line entry point: regenerate any table or figure, or serve.
 
 Usage::
 
     python -m repro table2 --quick
     python -m repro fig6 --scale small --splits 3
     python -m repro all --quick
+    python -m repro serve --quick --queries u1,u2 --k 5
 
 ``--quick`` switches to the tiny preset (minutes); the default ``small``
-scale is the one EXPERIMENTS.md records.
+scale is the one EXPERIMENTS.md records.  ``serve`` runs the online
+phase end to end — offline build, training, then batched ranking
+through the compiled scoring backend (``--scalar`` for the reference
+path) — and prints rankings plus throughput.
 """
 
 from __future__ import annotations
@@ -18,6 +22,8 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENTS, QUICK_CONFIG, ExperimentConfig, OfflineRunner
+from repro.learning.examples import generate_triplets
+from repro.learning.model import ProximityModel, SortedUniverse
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,8 +38,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*sorted(EXPERIMENTS), "all"],
-        help="which table/figure to regenerate ('all' runs everything)",
+        choices=[*sorted(EXPERIMENTS), "all", "serve"],
+        help=(
+            "which table/figure to regenerate ('all' runs everything; "
+            "'serve' runs the online phase as a batched query service)"
+        ),
     )
     parser.add_argument(
         "--quick",
@@ -50,6 +59,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--splits", type=int, default=None, help="number of query splits"
     )
     parser.add_argument("--seed", type=int, default=None, help="global seed")
+    # serve-only options default to None sentinels (resolved by
+    # run_serve) so main() can reject any explicit use — even of a
+    # default value — on non-serve experiments; declaring through
+    # serve_arg records each flag so new ones are covered automatically
+    serving = parser.add_argument_group("serve options")
+    serve_only: list[tuple[str, str]] = []
+
+    def serve_arg(flag: str, **kwargs) -> None:
+        action = serving.add_argument(flag, default=None, **kwargs)
+        serve_only.append((action.dest, flag))
+
+    serve_arg(
+        "--dataset",
+        choices=["linkedin", "facebook"],
+        help="dataset to serve (serve only; default: linkedin)",
+    )
+    serve_arg(
+        "--class",
+        dest="class_name",
+        help="semantic class to fit and serve (default: first class)",
+    )
+    serve_arg(
+        "--queries",
+        help="comma-separated query node ids (default: sampled labelled queries)",
+    )
+    serve_arg(
+        "--num-queries",
+        type=int,
+        help="how many labelled queries to serve when --queries is unset "
+        "(default: 8)",
+    )
+    serve_arg("--k", type=int, help="results per query (default: 5)")
+    serve_arg(
+        "--scalar",
+        action="store_true",
+        help="serve through the scalar reference path instead of the "
+        "compiled CSR backend",
+    )
+    parser.serve_only_options = serve_only
     return parser
 
 
@@ -66,10 +114,117 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return dataclasses.replace(config, **overrides) if overrides else config
 
 
+def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
+    """The ``serve`` subcommand: offline build, fit, batched ranking."""
+    # validate --class against a cheap tiny-scale load before paying for
+    # the full offline build (classes are scale-independent)
+    from repro.datasets import load_dataset
+
+    # resolve the None sentinels build_parser uses for serve-only flags
+    dataset_name = args.dataset or "linkedin"
+    num_queries = 8 if args.num_queries is None else args.num_queries
+    top_k = 5 if args.k is None else args.k
+    if num_queries < 0:
+        print(
+            f"--num-queries must be >= 0, got {num_queries}",
+            file=sys.stderr,
+        )
+        return 2
+    if top_k <= 0:
+        print(f"--k must be >= 1, got {top_k}", file=sys.stderr)
+        return 2
+    classes = load_dataset(dataset_name, scale="tiny").classes
+    class_name = args.class_name or classes[0]
+    if class_name not in classes:
+        print(
+            f"unknown class {class_name!r}; available: {list(classes)}",
+            file=sys.stderr,
+        )
+        return 2
+    runner = OfflineRunner(config)
+    phase = runner.offline(dataset_name)
+    dataset = phase.dataset
+    if class_name not in dataset.classes:  # exact check at serving scale
+        print(
+            f"class {class_name!r} missing at scale {config.scale!r}; "
+            f"available: {list(dataset.classes)}",
+            file=sys.stderr,
+        )
+        return 2
+    universe = SortedUniverse(dataset.universe)
+    # resolve and validate the query batch before paying for training
+    if args.queries is not None:
+        queries = [q.strip() for q in args.queries.split(",") if q.strip()]
+        if not queries:
+            print(
+                f"--queries {args.queries!r} contains no query ids",
+                file=sys.stderr,
+            )
+            return 2
+        unknown = [q for q in queries if q not in universe.members()]
+        if unknown:
+            print(
+                f"unknown query node(s) {unknown}; queries must be "
+                f"{dataset.anchor_type!r} nodes of the {dataset_name} graph",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        queries = list(dataset.queries(class_name))[:num_queries]
+    labels = dataset.class_labels(class_name)
+    triplets = generate_triplets(
+        dataset.queries(class_name),
+        labels,
+        dataset.universe,
+        num_examples=200,
+        seed=config.seed,
+    )
+    weights = runner.trainer().train(triplets, phase.vectors)
+    model = ProximityModel(weights, phase.vectors, name=class_name)
+    backend = "scalar"
+    if not args.scalar:
+        model.compile()
+        backend = "compiled"
+    start = time.perf_counter()
+    rankings = [model.rank(q, universe=universe, k=top_k) for q in queries]
+    elapsed = time.perf_counter() - start
+    print(
+        f"[serve] {dataset_name}/{class_name!r}: {len(queries)} queries, "
+        f"{backend} backend, k={top_k}"
+    )
+    for query, ranking in zip(queries, rankings):
+        shown = ", ".join(f"{node} ({score:.3f})" for node, score in ranking)
+        print(f"  {query} -> {shown or '(no results)'}")
+    per_query = elapsed / max(len(queries), 1) * 1e3
+    print(
+        f"[serve] ranked {len(queries)} queries in {elapsed * 1e3:.2f} ms "
+        f"({per_query:.3f} ms/query, universe={len(universe)})"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     config = config_from_args(args)
+    if args.experiment == "serve":
+        return run_serve(args, config)
+    # the flat parser accepts serve flags everywhere; reject them on
+    # experiment runs instead of silently ignoring them (any non-None
+    # value means the flag was passed explicitly)
+    misused = [
+        flag
+        for name, flag in parser.serve_only_options
+        if getattr(args, name) is not None
+    ]
+    if misused:
+        print(
+            f"option(s) {sorted(misused)} only apply to the 'serve' "
+            f"command, not {args.experiment!r}",
+            file=sys.stderr,
+        )
+        return 2
     runner = OfflineRunner(config)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

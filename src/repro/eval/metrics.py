@@ -23,6 +23,8 @@ from repro.graph.typed_graph import NodeId
 
 def dcg_at_k(ranked: Sequence[NodeId], relevant: Set, k: int) -> float:
     """Discounted cumulative gain of the top-k prefix (binary relevance)."""
+    if k <= 0:  # guard: a negative k would slice from the wrong end
+        return 0.0
     total = 0.0
     for i, node in enumerate(ranked[:k], start=1):
         if node in relevant:
@@ -48,8 +50,8 @@ def ndcg_at_k(ranked: Sequence[NodeId], relevant: Set, k: int = 10) -> float:
 def average_precision_at_k(
     ranked: Sequence[NodeId], relevant: Set, k: int = 10
 ) -> float:
-    """AP@k in [0, 1]; 0 when there are no relevant nodes."""
-    if not relevant:
+    """AP@k in [0, 1]; 0 when there are no relevant nodes or k <= 0."""
+    if not relevant or k <= 0:
         return 0.0
     hits = 0
     total = 0.0

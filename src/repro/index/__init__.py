@@ -1,5 +1,6 @@
 """Instance indexing and metagraph vectors (Eq. 1–2)."""
 
+from repro.index.compiled import CompiledVectors
 from repro.index.instance_index import (
     InstanceIndex,
     MetagraphCounts,
@@ -17,6 +18,7 @@ from repro.index.vectors import MetagraphVectors, build_vectors
 
 __all__ = [
     "TRANSFORMS",
+    "CompiledVectors",
     "InstanceIndex",
     "MetagraphCounts",
     "MetagraphVectors",

@@ -1,0 +1,207 @@
+"""Compiled CSR form of the Eq. 1–2 counts: the online serving backend.
+
+:class:`MetagraphVectors` keeps the counts as nested dicts, which is the
+right shape for incremental construction (dual-stage training extends it
+in place) but the wrong shape for serving: scoring one candidate via
+``mgp()`` materialises two dense length-|M| vectors and runs three dense
+dot products per pair.  :class:`CompiledVectors` freezes the same counts
+into flat CSR-style numpy arrays (``indptr``/``indices``/``data`` — no
+scipy dependency):
+
+- a node matrix of m_x rows over the *anchor universe* (every node with
+  a non-zero count, sorted by ``repr`` so positions are deterministic);
+- one m_xy row per distinct anchor pair, plus a per-node adjacency that
+  maps each node to its partner positions and their pair rows.
+
+With a fixed weight vector ``w`` the whole store collapses to two dot
+arrays — ``node_dot_products(w)`` and ``pair_dot_products(w)``, each one
+O(nnz) pass — after which ranking a query is a slice plus a handful of
+vectorised operations: *a lookup, not a traversal* (Sect. II-B).
+
+The compiled arrays are read-only snapshots; :meth:`MetagraphVectors.compile`
+invalidates its cache whenever new counts are folded in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Set
+
+import numpy as np
+
+from repro.exceptions import CatalogMismatchError
+from repro.graph.typed_graph import NodeId
+from repro.index.instance_index import _pair_key
+from repro.index.transform import Transform, identity
+
+
+def _csr_from_rows(
+    rows: list[dict[int, int]], transform: Transform
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stack sparse {mg_id: count} rows into (indptr, indices, data)."""
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    indices: list[int] = []
+    data: list[float] = []
+    for r, row in enumerate(rows):
+        for mg_id in sorted(row):
+            indices.append(mg_id)
+            data.append(transform(row[mg_id]))
+        indptr[r + 1] = len(indices)
+    return (
+        indptr,
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(data, dtype=np.float64),
+    )
+
+
+class CompiledVectors:
+    """Read-only CSR snapshot of a :class:`MetagraphVectors` store."""
+
+    def __init__(
+        self,
+        nodes: tuple[NodeId, ...],
+        node_csr: tuple[np.ndarray, np.ndarray, np.ndarray],
+        pair_csr: tuple[np.ndarray, np.ndarray, np.ndarray],
+        pair_ptr: np.ndarray,
+        partner_pos: np.ndarray,
+        entry_pair: np.ndarray,
+        catalog_size: int,
+    ):
+        self.nodes = nodes
+        self.node_indptr, self.node_indices, self.node_data = node_csr
+        self.pair_indptr, self.pair_indices, self.pair_data = pair_csr
+        self.pair_ptr = pair_ptr
+        self.partner_pos = partner_pos
+        self.entry_pair = entry_pair
+        self.catalog_size = catalog_size
+        self._pos = {node: i for i, node in enumerate(nodes)}
+        # row index of every stored nonzero, so a CSR @ w collapses to
+        # one multiply plus one bincount (no per-row python loop)
+        self._node_rows = np.repeat(
+            np.arange(len(nodes), dtype=np.int64), np.diff(self.node_indptr)
+        )
+        self._pair_rows = np.repeat(
+            np.arange(self.num_pairs, dtype=np.int64), np.diff(self.pair_indptr)
+        )
+        for array in (
+            self.node_indptr, self.node_indices, self.node_data,
+            self.pair_indptr, self.pair_indices, self.pair_data,
+            self.pair_ptr, self.partner_pos, self.entry_pair,
+        ):
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        node_counts: Mapping[NodeId, Mapping[int, int]],
+        pair_counts: Mapping[tuple[NodeId, NodeId], Mapping[int, int]],
+        partners: Mapping[NodeId, Set],
+        catalog_size: int,
+        transform: Transform = identity,
+    ) -> "CompiledVectors":
+        """Freeze the sparse dict store into CSR arrays."""
+        nodes = tuple(sorted(node_counts, key=repr))
+        pos = {node: i for i, node in enumerate(nodes)}
+        node_csr = _csr_from_rows([dict(node_counts[n]) for n in nodes], transform)
+
+        def canonical(key: tuple[NodeId, NodeId]) -> tuple[int, int]:
+            a, b = pos[key[0]], pos[key[1]]
+            return (a, b) if a <= b else (b, a)
+
+        try:
+            pair_keys = sorted(pair_counts, key=canonical)
+        except KeyError as exc:  # a pair member without an m_x row
+            raise CatalogMismatchError(
+                f"pair count references node {exc.args[0]!r} with no node count"
+            ) from None
+        pair_row = {key: r for r, key in enumerate(pair_keys)}
+        pair_csr = _csr_from_rows([dict(pair_counts[k]) for k in pair_keys], transform)
+
+        pair_ptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+        partner_pos: list[int] = []
+        entry_pair: list[int] = []
+        for i, node in enumerate(nodes):
+            for p in sorted(pos[partner] for partner in partners.get(node, ())):
+                partner_pos.append(p)
+                entry_pair.append(pair_row[_pair_key(node, nodes[p])])
+            pair_ptr[i + 1] = len(partner_pos)
+        return cls(
+            nodes,
+            node_csr,
+            pair_csr,
+            pair_ptr,
+            np.asarray(partner_pos, dtype=np.int64),
+            np.asarray(entry_pair, dtype=np.int64),
+            catalog_size,
+        )
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pair_indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        """Stored nonzeros across the node and pair matrices."""
+        return len(self.node_data) + len(self.pair_data)
+
+    def position(self, node: NodeId) -> int | None:
+        """Row of a node in the anchor universe (None if absent)."""
+        return self._pos.get(node)
+
+    def candidates_of(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(partner positions, pair-row ids) of the node at row ``i``."""
+        lo, hi = self.pair_ptr[i], self.pair_ptr[i + 1]
+        return self.partner_pos[lo:hi], self.entry_pair[lo:hi]
+
+    # ------------------------------------------------------------------
+    # the two O(nnz) passes that make serving a lookup
+    # ------------------------------------------------------------------
+    def node_dot_products(self, weights: np.ndarray) -> np.ndarray:
+        """m_x . w for every anchor node, one pass over the nonzeros."""
+        weights = np.asarray(weights, dtype=np.float64)
+        return np.bincount(
+            self._node_rows,
+            weights=self.node_data * weights[self.node_indices],
+            minlength=self.num_nodes,
+        )
+
+    def pair_dot_products(self, weights: np.ndarray) -> np.ndarray:
+        """m_xy . w for every distinct anchor pair, one pass."""
+        weights = np.asarray(weights, dtype=np.float64)
+        return np.bincount(
+            self._pair_rows,
+            weights=self.pair_data * weights[self.pair_indices],
+            minlength=self.num_pairs,
+        )
+
+    # ------------------------------------------------------------------
+    # dense reconstruction (tests / debugging only)
+    # ------------------------------------------------------------------
+    def node_vector_dense(self, i: int) -> np.ndarray:
+        """The m_x row at position ``i`` as a dense length-|M| vector."""
+        vec = np.zeros(self.catalog_size, dtype=np.float64)
+        lo, hi = self.node_indptr[i], self.node_indptr[i + 1]
+        vec[self.node_indices[lo:hi]] = self.node_data[lo:hi]
+        return vec
+
+    def pair_vector_dense(self, row: int) -> np.ndarray:
+        """An m_xy row as a dense length-|M| vector."""
+        vec = np.zeros(self.catalog_size, dtype=np.float64)
+        lo, hi = self.pair_indptr[row], self.pair_indptr[row + 1]
+        vec[self.pair_indices[lo:hi]] = self.pair_data[lo:hi]
+        return vec
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledVectors: {self.num_nodes} nodes, {self.num_pairs} pairs, "
+            f"{self.nnz} nonzeros over {self.catalog_size} metagraphs>"
+        )

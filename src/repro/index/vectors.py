@@ -9,6 +9,10 @@ queries the learning and online phases need:
 - ``partners(x)`` — all nodes sharing at least one metagraph instance
   with ``x``, which is exactly the candidate set with non-zero MGP
   numerator for query ``x``.
+
+For serving, :meth:`MetagraphVectors.compile` freezes the sparse counts
+into a :class:`~repro.index.compiled.CompiledVectors` CSR snapshot that
+scores whole candidate sets in a few vectorised operations.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import numpy as np
 
 from repro.exceptions import CatalogMismatchError
 from repro.graph.typed_graph import NodeId, TypedGraph
+from repro.index.compiled import CompiledVectors
 from repro.index.instance_index import (
     InstanceIndex,
     MetagraphCounts,
@@ -51,6 +56,7 @@ class MetagraphVectors:
         self._matched: set[int] = set()
         self._node_cache: dict[NodeId, np.ndarray] = {}
         self._pair_cache: dict[tuple[NodeId, NodeId], np.ndarray] = {}
+        self._compiled: CompiledVectors | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -72,6 +78,7 @@ class MetagraphVectors:
             self._partners.setdefault(y, set()).add(x)
         self._node_cache.clear()
         self._pair_cache.clear()
+        self._compiled = None
 
     @property
     def matched_ids(self) -> frozenset[int]:
@@ -121,6 +128,35 @@ class MetagraphVectors:
     def verify_catalog(self, catalog: MetagraphCatalog) -> None:
         """Raise unless the store matches the catalog's id space."""
         catalog.verify_compatible(self.catalog_size)
+
+    # ------------------------------------------------------------------
+    # serving backend
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledVectors:
+        """Freeze the counts into the CSR serving backend (cached).
+
+        The snapshot is shared by every model over this store and is
+        invalidated automatically when :meth:`add_counts` folds in new
+        metagraphs.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledVectors.build(
+                self._node,
+                self._pair,
+                self._partners,
+                catalog_size=self.catalog_size,
+                transform=self.transform,
+            )
+        return self._compiled
+
+    def is_current_snapshot(self, compiled: CompiledVectors) -> bool:
+        """True iff ``compiled`` is this store's up-to-date snapshot.
+
+        Checks identity against the cache without forcing a rebuild: a
+        snapshot taken before the last mutation (the cache was cleared)
+        or belonging to another store is simply not current.
+        """
+        return compiled is self._compiled
 
     # ------------------------------------------------------------------
     # persistence: the offline phase is expensive, the artefact small

@@ -5,11 +5,26 @@ universe, and produces the descending-proximity ranking of Sect. II-B's
 online phase.  Ranking a query is a lookup, not a traversal: only the
 query's *partners* (nodes sharing at least one metagraph instance) can
 have non-zero proximity, so the candidate set is tiny relative to |V|.
+
+Two scoring backends produce identical rankings (same nodes, same
+tie-break order; scores agree to within float summation order — exactly
+so for modest catalogs or dyadic-rational weights):
+
+- the *scalar* path scores each partner with a dense ``mgp()`` call —
+  simple, always available, used as the reference;
+- the *compiled* path (:meth:`ProximityModel.compile`) scores against a
+  :class:`~repro.index.compiled.CompiledVectors` CSR snapshot: the
+  ``m_x . w`` products of every node and the ``m_xy . w`` products of
+  every pair are precomputed in two O(nnz) passes when the weights are
+  attached, after which ranking is one ``batch_mgp``-style vectorised
+  pass over the candidate slice plus an ``np.argpartition`` top-k.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import weakref
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
@@ -17,8 +32,78 @@ import numpy as np
 
 from repro.exceptions import LearningError
 from repro.graph.typed_graph import NodeId
+from repro.index.compiled import CompiledVectors
 from repro.index.vectors import MetagraphVectors
 from repro.learning.proximity import mgp
+
+
+class SortedUniverse(tuple):
+    """A deduplicated candidate universe pre-sorted by node ``repr``.
+
+    ``rank()`` must order equal-proximity nodes by ``repr`` — with a raw
+    iterable that means re-sorting the whole universe on every query.
+    Callers that query repeatedly (the facade, batched serving) build
+    one :class:`SortedUniverse` and reuse it; the compiled path then
+    fills zero-proximity tail slots by walking it in order instead of
+    sorting.
+    """
+
+    def __new__(cls, nodes: Iterable[NodeId] = ()):
+        # canonicalise on construction so the invariant (unique,
+        # repr-sorted) holds however the instance was made
+        return super().__new__(cls, sorted(set(nodes), key=repr))
+
+    def members(self) -> frozenset:
+        """The universe as a set, built lazily once per instance."""
+        cached = getattr(self, "_members", None)
+        if cached is None:
+            cached = frozenset(self)
+            self._members = cached
+        return cached
+
+    def mask_over(self, compiled: "CompiledVectors") -> np.ndarray:
+        """Membership of each compiled anchor row in this universe.
+
+        Built once per (universe, compiled) pair and cached on the
+        universe, so batched serving filters candidates with a pure
+        numpy gather instead of per-query hash lookups.
+        """
+        cache = getattr(self, "_masks", None)
+        if cache is None:
+            # weak keys: a retired snapshot (store recompiled after new
+            # counts) must not be pinned by its old mask
+            cache = weakref.WeakKeyDictionary()
+            self._masks = cache
+        mask = cache.get(compiled)  # CompiledVectors hashes by identity
+        if mask is None:
+            members = self.members()
+            mask = np.fromiter(
+                (node in members for node in compiled.nodes),
+                dtype=bool,
+                count=compiled.num_nodes,
+            )
+            mask.setflags(write=False)
+            cache[compiled] = mask
+        return mask
+
+
+def _descending_order(scores: np.ndarray, k: int | None) -> np.ndarray:
+    """Positions of the top-k scores, descending, stable within ties.
+
+    Callers arrange candidate positions in ascending ``repr`` order, so
+    the stable sort realises the (-score, repr) tie-break.  For small k
+    an ``np.argpartition`` pre-selection avoids sorting the full set;
+    boundary ties are widened to keep the cut deterministic.
+    """
+    n = len(scores)
+    if k is not None and k <= 0:
+        return np.empty(0, dtype=np.intp)
+    if k is None or k >= n:
+        return np.argsort(-scores, kind="stable")
+    threshold = scores[np.argpartition(-scores, k - 1)[k - 1]]
+    keep = np.flatnonzero(scores >= threshold)
+    keep = keep[np.argsort(-scores[keep], kind="stable")]
+    return keep[:k]
 
 
 class ProximityModel:
@@ -30,7 +115,7 @@ class ProximityModel:
         vectors: MetagraphVectors,
         name: str = "",
     ):
-        weights = np.asarray(weights, dtype=float)
+        weights = np.array(weights, dtype=float)  # own copy, frozen below
         if weights.ndim != 1 or len(weights) != vectors.catalog_size:
             raise LearningError(
                 f"weight vector of length {weights.shape} does not match "
@@ -38,9 +123,52 @@ class ProximityModel:
             )
         if np.any(weights < 0):
             raise LearningError("MGP weights must be non-negative (Def. 3)")
+        # read-only: the compiled dot products are derived from the
+        # weights once, so in-place mutation would desynchronise them
+        weights.setflags(write=False)
         self.weights = weights
         self.vectors = vectors
         self.name = name
+        self._compiled: CompiledVectors | None = None
+        self._node_dots: np.ndarray | None = None
+        self._pair_dots: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # compiled serving backend
+    # ------------------------------------------------------------------
+    @property
+    def compiled(self) -> CompiledVectors | None:
+        """The attached CSR backend, or None while on the scalar path."""
+        return self._compiled
+
+    def compile(self, compiled: CompiledVectors | None = None) -> "ProximityModel":
+        """Attach the compiled scoring backend and precompute the dots.
+
+        The CSR snapshot itself is shared across models (cached on the
+        vector store); per-model state is just ``m_x . w`` for every
+        node and ``m_xy . w`` for every pair, each one O(nnz) pass.
+        Returns ``self`` for chaining.
+        """
+        if compiled is None:
+            compiled = self.vectors.compile()
+        elif not self.vectors.is_current_snapshot(compiled):
+            # an explicit snapshot must be the store's *current* one —
+            # anything else (stale pre-mutation snapshot, snapshot of a
+            # different store) would silently serve wrong rankings
+            raise LearningError(
+                "compiled snapshot is not the current snapshot of this "
+                "model's vector store; call compile() with no argument "
+                "or pass vectors.compile()"
+            )
+        if compiled.catalog_size != self.vectors.catalog_size:
+            raise LearningError(
+                f"compiled backend over {compiled.catalog_size} metagraphs "
+                f"does not match catalog size {self.vectors.catalog_size}"
+            )
+        self._compiled = compiled
+        self._node_dots = compiled.node_dot_products(self.weights)
+        self._pair_dots = compiled.pair_dot_products(self.weights)
+        return self
 
     def proximity(self, x: NodeId, y: NodeId) -> float:
         """pi(x, y; w*) for any two nodes."""
@@ -54,26 +182,105 @@ class ProximityModel:
     ) -> list[tuple[NodeId, float]]:
         """Nodes in descending proximity to ``query``.
 
-        ``universe`` bounds the result (e.g. all user nodes); when None,
-        only the query's partners are returned — every other node has
-        proximity exactly 0.  Ties are broken deterministically by node
-        repr.  The query itself is excluded.
+        ``universe`` bounds the result (e.g. all user nodes): scored
+        candidates outside it are dropped, and its remaining members pad
+        the tail with proximity 0.  When None, only the query's partners
+        are returned — every other node has proximity exactly 0.  Ties
+        are broken deterministically by node repr.  The query itself is
+        excluded.  Dispatches to the compiled backend when one is
+        attached (see :meth:`compile`); both paths return identical
+        rankings.  A snapshot made stale by new counts folded into the
+        vector store is recompiled transparently.
         """
+        if self._compiled is not None:
+            if not self.vectors.is_current_snapshot(self._compiled):
+                self.compile()
+            return self._rank_compiled(query, universe, k)
+        return self._rank_scalar(query, universe, k)
+
+    def _rank_scalar(
+        self,
+        query: NodeId,
+        universe: Iterable[NodeId] | None,
+        k: int | None,
+    ) -> list[tuple[NodeId, float]]:
+        """Reference path: one dense mgp() call per candidate."""
+        if k is not None and k <= 0:
+            return []
         candidates = self.vectors.partners(query)
-        scored = [
-            (node, self.proximity(query, node))
-            for node in candidates
-            if node != query
-        ]
-        if universe is not None:
-            rest = [
-                (node, 0.0)
-                for node in universe
-                if node != query and node not in candidates
+        if universe is None:
+            scored = [
+                (node, self.proximity(query, node))
+                for node in candidates
+                if node != query
             ]
-            scored.extend(rest)
+        else:
+            members = universe.members() if isinstance(
+                universe, SortedUniverse
+            ) else set(universe)
+            scored = [
+                (node, self.proximity(query, node))
+                for node in candidates
+                if node != query and node in members
+            ]
+            scored.extend(
+                (node, 0.0)
+                for node in members
+                if node != query and node not in candidates
+            )
         scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
         return scored[:k] if k is not None else scored
+
+    def _rank_compiled(
+        self,
+        query: NodeId,
+        universe: Iterable[NodeId] | None,
+        k: int | None,
+    ) -> list[tuple[NodeId, float]]:
+        """Compiled path: slice the CSR adjacency, score in one batch."""
+        if k is not None and k <= 0:
+            return []
+        compiled = self._compiled
+        assert compiled is not None
+        row = compiled.position(query)
+        if row is None:
+            cand_pos = np.empty(0, dtype=np.int64)
+            scores = np.empty(0, dtype=np.float64)
+        else:
+            cand_pos, pair_rows = compiled.candidates_of(row)
+            keep = cand_pos != row
+            cand_pos, pair_rows = cand_pos[keep], pair_rows[keep]
+            numerators = 2.0 * self._pair_dots[pair_rows]
+            denominators = self._node_dots[row] + self._node_dots[cand_pos]
+            scores = np.zeros(len(cand_pos), dtype=np.float64)
+            positive = denominators > 0.0
+            scores[positive] = numerators[positive] / denominators[positive]
+
+        nodes = compiled.nodes
+        if universe is None:
+            order = _descending_order(scores, k)
+            return [(nodes[cand_pos[j]], float(scores[j])) for j in order]
+
+        if not isinstance(universe, SortedUniverse):
+            universe = SortedUniverse(universe)
+        in_universe = universe.mask_over(compiled)[cand_pos]
+        hit = np.flatnonzero(in_universe & (scores > 0.0))
+        order = hit[_descending_order(scores[hit], k)]
+        result = [(nodes[cand_pos[j]], float(scores[j])) for j in order]
+        # pad with zero-proximity universe members in repr order; the
+        # positively-scored candidates above are the only exclusions
+        needed = None if k is None else k - len(result)
+        if needed is None or needed > 0:
+            ranked = {node for node, _score in result}
+            ranked.add(query)
+            filler = (
+                (node, 0.0) for node in universe if node not in ranked
+            )
+            if needed is None:
+                result.extend(filler)
+            else:
+                result.extend(itertools.islice(filler, needed))
+        return result
 
     def explain(
         self, x: NodeId, y: NodeId, k: int = 5

@@ -7,11 +7,17 @@ application wants:
 >>> engine.prepare()                        # mine + match + index (offline)
 >>> engine.fit("classmate", labelled_queries)        # learn one class
 >>> engine.query("classmate", "Kate", k=10)          # online ranking
+>>> engine.query_many("classmate", ["Kate", "Bob"])  # batched serving
 >>> engine.explain("classmate", "Kate", "Jay")       # why they are close
 
 Classes are independent models over the shared metagraph vectors, so
 adding a class never recomputes matching.  ``fit`` accepts either
 labelled queries (positives per query) or raw pairwise triplets.
+
+Serving is compiled by default: ``prepare()`` freezes the counts into
+the CSR backend (:meth:`MetagraphVectors.compile`), every fitted model
+scores against it, and the sorted anchor universe is computed once and
+reused by ``query``/``query_many`` instead of being re-sorted per call.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from repro.index.instance_index import InstanceIndex
 from repro.index.transform import Transform, identity
 from repro.index.vectors import MetagraphVectors, build_vectors
 from repro.learning.examples import generate_triplets
-from repro.learning.model import ProximityModel
+from repro.learning.model import ProximityModel, SortedUniverse
 from repro.learning.objective import Triplet
 from repro.learning.trainer import Trainer, TrainerConfig
 from repro.metagraph.catalog import MetagraphCatalog
@@ -47,6 +53,10 @@ class SemanticProximitySearch:
         Gradient-ascent knobs shared by all classes.
     transform:
         Count transform applied to the metagraph vectors.
+    compile_serving:
+        Compile the online phase after ``prepare()`` (default).  Turn
+        off to serve through the scalar reference path, e.g. when
+        memory for the CSR snapshot is tighter than latency.
     """
 
     def __init__(
@@ -56,22 +66,30 @@ class SemanticProximitySearch:
         miner_config: MinerConfig | None = None,
         trainer_config: TrainerConfig | None = None,
         transform: Transform = identity,
+        compile_serving: bool = True,
     ):
         self.graph = graph
         self.anchor_type = anchor_type
         self.miner_config = miner_config or MinerConfig()
         self.trainer_config = trainer_config or TrainerConfig()
         self.transform = transform
+        self.compile_serving = compile_serving
         self.catalog: MetagraphCatalog | None = None
         self.vectors: MetagraphVectors | None = None
         self.index: InstanceIndex | None = None
         self._models: dict[str, ProximityModel] = {}
+        self._universe: SortedUniverse | None = None
 
     # ------------------------------------------------------------------
     # offline phase
     # ------------------------------------------------------------------
     def prepare(self, catalog: MetagraphCatalog | None = None) -> "SemanticProximitySearch":
-        """Run the offline phase: mine (unless given a catalog), match, index."""
+        """Run the offline phase: mine (unless given a catalog), match, index.
+
+        Re-preparing replaces the vector store, so previously fitted
+        models (trained against the old counts) are dropped — refit
+        each class afterwards.
+        """
         if catalog is not None:
             self.catalog = catalog
         else:
@@ -81,7 +99,23 @@ class SemanticProximitySearch:
         self.vectors, self.index = build_vectors(
             self.graph, self.catalog, transform=self.transform
         )
+        if self.compile_serving:
+            self.vectors.compile()
+        self._universe = None
+        self._models.clear()
         return self
+
+    def universe(self) -> SortedUniverse:
+        """The anchor universe sorted by repr, computed once and cached.
+
+        Invalidated by :meth:`prepare`; rebuild by calling ``prepare``
+        again if the graph gains anchor nodes.
+        """
+        if self._universe is None:
+            self._universe = SortedUniverse(
+                self.graph.nodes_of_type(self.anchor_type)
+            )
+        return self._universe
 
     def _require_prepared(self) -> tuple[MetagraphCatalog, MetagraphVectors]:
         if self.catalog is None or self.vectors is None:
@@ -116,15 +150,18 @@ class SemanticProximitySearch:
                 queries = sorted(
                     (q for q, members in labels.items() if members), key=repr
                 )
-            universe = sorted(
-                self.graph.nodes_of_type(self.anchor_type), key=repr
-            )
             triplets = generate_triplets(
-                queries, labels, universe, num_examples=num_examples, seed=seed
+                queries,
+                labels,
+                self.universe(),
+                num_examples=num_examples,
+                seed=seed,
             )
         trainer = Trainer(self.trainer_config)
         weights = trainer.train(triplets, vectors)
         model = ProximityModel(weights, vectors, name=class_name)
+        if self.compile_serving:
+            model.compile()
         self._models[class_name] = model
         return model
 
@@ -150,8 +187,24 @@ class SemanticProximitySearch:
     ) -> list[tuple[NodeId, float]]:
         """Rank anchor nodes by proximity to ``query`` for one class."""
         model = self.model(class_name)
-        universe = sorted(self.graph.nodes_of_type(self.anchor_type), key=repr)
-        return model.rank(query, universe=universe, k=k)
+        return model.rank(query, universe=self.universe(), k=k)
+
+    def query_many(
+        self,
+        class_name: str,
+        queries: Sequence[NodeId],
+        k: int | None = 10,
+    ) -> list[list[tuple[NodeId, float]]]:
+        """Rank a batch of queries for one class (one ranking each).
+
+        Batched serving amortises everything shared across queries —
+        the compiled CSR snapshot, the precomputed dot products and the
+        sorted anchor universe — so each extra query costs only its own
+        candidate slice.
+        """
+        model = self.model(class_name)
+        universe = self.universe()
+        return [model.rank(q, universe=universe, k=k) for q in queries]
 
     def proximity(self, class_name: str, x: NodeId, y: NodeId) -> float:
         """pi(x, y) under one class's learned weights."""

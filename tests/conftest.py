@@ -2,12 +2,28 @@
 
 from __future__ import annotations
 
+import os
 import random
+import sys
 
 import pytest
 
 from repro.graph.typed_graph import TypedGraph
 from repro.metagraph.metagraph import Metagraph, metapath
+
+
+def subprocess_env(**overrides: str) -> dict[str, str]:
+    """The parent's environment plus its import path.
+
+    Subprocess-based tests (examples, determinism) must let the child
+    ``import repro`` however the parent found it — pytest ``pythonpath``
+    config, editable install, or a PYTHONPATH hack — so the full
+    ``sys.path`` is propagated, with optional overrides applied on top.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    env.update(overrides)
+    return env
 
 
 def build_toy_graph() -> TypedGraph:

@@ -84,6 +84,44 @@ class TestMAP:
         assert 0.0 <= value <= 1.0
 
 
+class TestEdgeCases:
+    """k=0, empty relevant sets, and k beyond the ranking length."""
+
+    def test_k_zero_everywhere(self):
+        ranked, relevant = ["a", "b"], {"a"}
+        assert ndcg_at_k(ranked, relevant, k=0) == 0.0
+        assert average_precision_at_k(ranked, relevant, k=0) == 0.0
+        assert precision_at_k(ranked, relevant, k=0) == 0.0
+        assert dcg_at_k(ranked, relevant, k=0) == 0.0
+        assert ideal_dcg_at_k(3, 0) == 0.0
+
+    def test_empty_relevant_everywhere(self):
+        ranked = ["a", "b", "c"]
+        assert ndcg_at_k(ranked, set(), k=5) == 0.0
+        assert average_precision_at_k(ranked, set(), k=5) == 0.0
+        assert precision_at_k(ranked, set(), k=2) == 0.0
+        assert reciprocal_rank(ranked, set()) == 0.0
+
+    def test_k_beyond_ranking_length(self):
+        # the prefix is just the whole ranking; nothing is double-counted
+        assert ndcg_at_k(["a"], {"a"}, k=100) == pytest.approx(1.0)
+        assert average_precision_at_k(["a"], {"a"}, k=100) == pytest.approx(1.0)
+        # idcg still normalises by min(R, k), not the ranking length
+        value = ndcg_at_k(["a"], {"a", "b", "c"}, k=100)
+        assert value == pytest.approx(1.0 / ideal_dcg_at_k(3, 100))
+
+    def test_empty_ranking(self):
+        assert ndcg_at_k([], {"a"}, k=10) == 0.0
+        assert average_precision_at_k([], {"a"}, k=10) == 0.0
+        assert reciprocal_rank([], {"a"}) == 0.0
+
+    def test_negative_k_is_zero(self):
+        assert average_precision_at_k(["a"], {"a"}, k=-1) == 0.0
+        assert precision_at_k(["a"], {"a"}, k=-1) == 0.0
+        assert dcg_at_k(["a", "b"], {"a"}, k=-1) == 0.0
+        assert ndcg_at_k(["a", "b"], {"a"}, k=-1) == 0.0
+
+
 class TestOtherMetrics:
     def test_precision(self):
         assert precision_at_k(["a", "x"], {"a"}, k=2) == 0.5

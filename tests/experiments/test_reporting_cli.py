@@ -84,3 +84,83 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Table II" in out
         assert "completed in" in out
+
+
+class TestServe:
+    def test_serve_quick_compiled(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--quick", "--num-queries", "2", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled backend" in out
+        assert "ms/query" in out
+
+    def test_serve_scalar_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["serve", "--quick", "--scalar", "--num-queries", "1", "--k", "2"]
+        )
+        assert code == 0
+        assert "scalar backend" in capsys.readouterr().out
+
+    def test_serve_unknown_class(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--quick", "--class", "nope"]) == 2
+        assert "unknown class" in capsys.readouterr().err
+
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--dataset", "facebook", "--queries", "u1,u2", "--k", "7"]
+        )
+        assert args.dataset == "facebook"
+        assert args.queries == "u1,u2"
+        assert args.k == 7
+
+    def test_serve_empty_queries_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--quick", "--queries", " , ,"]) == 2
+        assert "contains no query ids" in capsys.readouterr().err
+        # an explicitly empty value must error too, not silently fall
+        # back to the sampled default batch
+        assert main(["serve", "--quick", "--queries", ""]) == 2
+        assert "contains no query ids" in capsys.readouterr().err
+
+    def test_serve_flags_rejected_on_experiments(self, capsys):
+        from repro.cli import main
+
+        assert main(["table2", "--quick", "--k", "3", "--scalar"]) == 2
+        err = capsys.readouterr().err
+        assert "--k" in err and "--scalar" in err and "'table2'" in err
+
+    def test_serve_negative_num_queries_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--quick", "--num-queries", "-2"]) == 2
+        assert "--num-queries must be >= 0" in capsys.readouterr().err
+
+    def test_serve_nonpositive_k_rejected(self, capsys):
+        from repro.cli import main
+
+        for bad_k in ("0", "-3"):
+            assert main(["serve", "--quick", "--k", bad_k]) == 2
+            assert "--k must be >= 1" in capsys.readouterr().err
+
+    def test_serve_unknown_query_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--quick", "--queries", "ghost"]) == 2
+        assert "unknown query node" in capsys.readouterr().err
+
+    def test_serve_queries_stripped(self, capsys):
+        from repro.cli import main
+
+        # whitespace around commas must not produce phantom query ids
+        assert main(["serve", "--quick", "--queries", " u0 , u1 ", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "  u0 ->" in out and "  u1 ->" in out
+        assert " u0  ->" not in out

@@ -16,6 +16,8 @@ import sys
 
 import pytest
 
+from tests.conftest import subprocess_env
+
 SNIPPET = """
 import hashlib, json
 import numpy as np
@@ -66,12 +68,15 @@ print(json.dumps({
 
 
 def _run_with_hashseed(seed: str) -> dict:
+    # Propagate the parent's environment and import path: the child must
+    # be able to `import repro` however the parent found it (PYTHONPATH
+    # hack, editable install, ...), with only PYTHONHASHSEED varied.
     result = subprocess.run(
         [sys.executable, "-c", SNIPPET],
         capture_output=True,
         text=True,
         timeout=300,
-        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        env=subprocess_env(PYTHONHASHSEED=seed),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return json.loads(result.stdout.strip().splitlines()[-1])

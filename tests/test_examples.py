@@ -6,6 +6,8 @@ from pathlib import Path
 
 import pytest
 
+from tests.conftest import subprocess_env
+
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
@@ -28,6 +30,7 @@ def test_example_runs(example):
         capture_output=True,
         text=True,
         timeout=600,
+        env=subprocess_env(),
     )
     assert result.returncode == 0, f"{example} failed:\n{result.stderr[-2000:]}"
     assert result.stdout.strip(), f"{example} produced no output"
@@ -40,6 +43,7 @@ def test_quickstart_produces_expected_rankings():
         capture_output=True,
         text=True,
         timeout=300,
+        env=subprocess_env(),
     )
     out = result.stdout
     # classmate: Kate -> Jay; family: Bob -> Alice

@@ -87,3 +87,60 @@ class TestQueries:
     def test_repr(self, engine):
         spx, _ds = engine
         assert "prepared=True" in repr(spx)
+
+
+class TestCompiledServing:
+    def test_prepare_compiles_vectors(self, engine):
+        spx, _ds = engine
+        assert spx.vectors.compile() is spx.vectors.compile()
+
+    def test_fitted_models_use_compiled_backend(self, engine):
+        spx, ds = engine
+        model = spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        assert model.compiled is spx.vectors.compile()
+
+    def test_universe_cached(self, engine):
+        spx, _ds = engine
+        assert spx.universe() is spx.universe()
+        assert list(spx.universe()) == sorted(
+            spx.graph.nodes_of_type("user"), key=repr
+        )
+
+    def test_query_many_matches_single_queries(self, engine):
+        spx, ds = engine
+        spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        queries = ["Bob", "Kate", "Alice"]
+        batched = spx.query_many("family", queries, k=3)
+        assert batched == [spx.query("family", q, k=3) for q in queries]
+
+    def test_query_many_unknown_class_raises(self, engine):
+        spx, _ds = engine
+        with pytest.raises(LearningError):
+            spx.query_many("ghost-class", ["Bob"])
+
+    def test_reprepare_drops_fitted_models(self):
+        ds = toy_dataset()
+        spx = SemanticProximitySearch(
+            ds.graph, trainer_config=TrainerConfig(restarts=2, max_iterations=200)
+        )
+        catalog = MetagraphCatalog(toy_metagraphs().values(), anchor_type="user")
+        spx.prepare(catalog=catalog)
+        spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        # models trained on the replaced store must not survive
+        spx.prepare(catalog=catalog)
+        assert spx.classes == ()
+        with pytest.raises(LearningError):
+            spx.query("family", "Bob")
+
+    def test_scalar_engine_opt_out(self):
+        ds = toy_dataset()
+        spx = SemanticProximitySearch(ds.graph, compile_serving=False)
+        catalog = MetagraphCatalog(toy_metagraphs().values(), anchor_type="user")
+        spx.prepare(catalog=catalog)
+        model = spx.fit(
+            "family",
+            labels=ds.class_labels("family"),
+            num_examples=40,
+        )
+        assert model.compiled is None
+        assert spx.query("family", "Bob", k=3)  # scalar path still serves
