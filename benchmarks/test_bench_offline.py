@@ -1,0 +1,172 @@
+"""Offline-phase benchmarks: parallel builds and snapshot cold starts.
+
+Two acceptance floors guard the indexing subsystem on a synthetic
+offline workload (a serving-scale graph with square patterns that are
+expensive enough to shard):
+
+- the 4-worker parallel build must beat the sequential reference by
+  >= 2x (``REPRO_OFFLINE_SPEEDUP_FLOOR`` relaxes it on noisy shared
+  runners; the test skips on single-core machines where a process pool
+  cannot win by construction);
+- cold-starting from a persisted snapshot must beat rebuilding the
+  index from the graph by >= 10x (``REPRO_COLDSTART_SPEEDUP_FLOOR``).
+
+Exactness of the parallel path is proven elsewhere (the determinism and
+parallel suites); these tests only measure.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.graph.typed_graph import TypedGraph
+from repro.index.parallel import IndexBuildConfig, build_index
+from repro.index.persist import load_index, save_index
+from repro.index.vectors import build_vectors
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.metagraph.metagraph import Metagraph, metapath
+
+NUM_USERS = 400
+GROUP_SIZE = 8
+MEMBERSHIPS = 3  # groups each user joins per attribute type
+PARALLEL_WORKERS = 4
+
+
+def offline_graph(seed: int = 0) -> TypedGraph:
+    """A serving-scale build workload: users in overlapping typed groups.
+
+    Multiple memberships per type make the square patterns genuinely
+    expensive to match (many partially-matching candidate pairs), which
+    is what the parallel and cold-start floors need to measure.
+    """
+    rng = random.Random(seed)
+    graph = TypedGraph(name="offline-bench")
+    users = [f"u{i:03d}" for i in range(NUM_USERS)]
+    for user in users:
+        graph.add_node(user, "user")
+    num_groups = NUM_USERS // GROUP_SIZE
+    for attr_type in ("school", "employer", "hobby"):
+        for g in range(num_groups):
+            graph.add_node(f"{attr_type}{g}", attr_type)
+        for user in users:
+            for g in rng.sample(range(num_groups), MEMBERSHIPS):
+                graph.add_edge(user, f"{attr_type}{g}")
+    return graph
+
+
+def offline_catalog() -> MetagraphCatalog:
+    """Metapaths plus 4-node squares — the squares dominate matching
+    cost and cross the sharding threshold."""
+    members = [
+        metapath("user", t, "user", name=f"P-{t}")
+        for t in ("school", "employer", "hobby")
+    ]
+    for a, b in (("school", "employer"), ("school", "hobby"), ("employer", "hobby")):
+        members.append(
+            Metagraph(
+                ["user", a, b, "user"],
+                [(0, 1), (0, 2), (3, 1), (3, 2)],
+                name=f"S-{a}-{b}",
+            )
+        )
+    return MetagraphCatalog(members, anchor_type="user")
+
+
+@pytest.fixture(scope="module")
+def offline_workload(tmp_path_factory):
+    """One timed sequential build + its snapshot, shared by every test."""
+    graph = offline_graph()
+    catalog = offline_catalog()
+    start = time.perf_counter()
+    vectors, index = build_vectors(graph, catalog)
+    sequential_seconds = time.perf_counter() - start
+    snapshot = tmp_path_factory.mktemp("offline") / "snapshot"
+    save_index(snapshot, vectors, catalog, graph=graph, index=index)
+    return {
+        "graph": graph,
+        "catalog": catalog,
+        "vectors": vectors,
+        "sequential_seconds": sequential_seconds,
+        "snapshot": snapshot,
+    }
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_snapshot_load(benchmark, offline_workload):
+    benchmark(load_index, offline_workload["snapshot"])
+
+
+def test_bench_snapshot_save(benchmark, offline_workload, tmp_path):
+    workload = offline_workload
+    benchmark(
+        save_index,
+        tmp_path / "resave",
+        workload["vectors"],
+        workload["catalog"],
+        graph=workload["graph"],
+    )
+
+
+def test_parallel_build_speedup(offline_workload):
+    """Acceptance floor: 4-worker offline build >= 2x over sequential.
+
+    Shared runners are noisy, so the floor is tunable via
+    REPRO_OFFLINE_SPEEDUP_FLOOR; on a single core a process pool can
+    only add overhead, so the measurement is skipped outright.
+    """
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        pytest.skip(f"parallel speedup needs >= 2 cores, have {cores}")
+    floor = float(os.environ.get("REPRO_OFFLINE_SPEEDUP_FLOOR", "2"))
+    workload = offline_workload
+    parallel_seconds = _best_of(
+        lambda: build_index(
+            workload["graph"],
+            workload["catalog"],
+            IndexBuildConfig(workers=PARALLEL_WORKERS, min_partition_size=4),
+        ),
+        2,
+    )
+    speedup = workload["sequential_seconds"] / parallel_seconds
+    assert speedup >= floor, (
+        f"{PARALLEL_WORKERS}-worker build only {speedup:.2f}x faster "
+        f"(floor {floor}x; sequential "
+        f"{workload['sequential_seconds']:.2f} s, parallel "
+        f"{parallel_seconds:.2f} s)"
+    )
+
+
+def test_cold_start_speedup(offline_workload):
+    """Acceptance floor: snapshot load >= 10x faster than a full rebuild."""
+    floor = float(os.environ.get("REPRO_COLDSTART_SPEEDUP_FLOOR", "10"))
+    workload = offline_workload
+    load_seconds = _best_of(lambda: load_index(workload["snapshot"]), 3)
+    speedup = workload["sequential_seconds"] / load_seconds
+    assert speedup >= floor, (
+        f"snapshot cold start only {speedup:.1f}x faster than rebuild "
+        f"(floor {floor}x; rebuild {workload['sequential_seconds']:.2f} s, "
+        f"load {load_seconds * 1e3:.1f} ms)"
+    )
+
+
+def test_loaded_snapshot_serves_same_counts(offline_workload):
+    """Cheap in-benchmark parity spot check on the workload graph."""
+    workload = offline_workload
+    loaded = load_index(workload["snapshot"], graph=workload["graph"])
+    vectors = workload["vectors"]
+    assert loaded.vectors.matched_ids == vectors.matched_ids
+    probe = sorted(vectors.nodes_with_counts())[:5]
+    for node in probe:
+        assert loaded.vectors.partners(node) == vectors.partners(node)

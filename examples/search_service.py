@@ -5,99 +5,112 @@ match, index, train — done once) and a millisecond online phase (rank
 any query against the precomputed artefacts).  This example shows the
 persistence workflow a production deployment would use:
 
-1. *build job*: run the offline phase and save the artefacts
-   (catalog JSON, vector-store JSON, per-class weight JSON);
-2. *service*: load the artefacts, compile the counts into the CSR
-   serving backend, and answer queries with explanations
-   (Fig. 1(b)'s "result with explanation" column) — including a
-   batched pass comparing the scalar and compiled scoring paths.
+1. *build job*: run the offline phase on a worker pool, train every
+   semantic class, and persist ONE versioned snapshot directory
+   (``manifest.json`` + ``catalog.json`` + ``arrays.npz``) via
+   ``engine.save_index()``;
+2. *service*: cold-start with ``SemanticProximitySearch.from_index()``
+   — no mining, no matching — and answer queries with explanations
+   (Fig. 1(b)'s "result with explanation" column), including a batched
+   pass comparing the scalar and compiled scoring paths.
 
-Run:  python examples/search_service.py
+Run:  python examples/search_service.py [snapshot-dir]
+
+With a directory argument the snapshot is left on disk (the CI
+workflow uploads it as a build artifact); without one a temporary
+directory is used.
 """
 
+import sys
 import tempfile
 import time
 from pathlib import Path
 
 from repro.datasets import load_dataset
 from repro.eval.splits import split_queries
-from repro.index.vectors import MetagraphVectors, build_vectors
-from repro.learning.examples import generate_triplets
-from repro.learning.model import ProximityModel, SortedUniverse
-from repro.learning.trainer import Trainer, TrainerConfig
-from repro.metagraph.catalog import MetagraphCatalog
-from repro.mining import MinerConfig, mine_catalog
+from repro.index.parallel import IndexBuildConfig
+from repro.learning.model import ProximityModel
+from repro.learning.trainer import TrainerConfig
+from repro.mining import MinerConfig
+from repro.search import SemanticProximitySearch
 
 
-def build_job(artefact_dir: Path) -> None:
-    """The offline phase: mine -> match -> train -> persist."""
+def build_job(snapshot_dir: Path) -> None:
+    """The offline phase: mine -> match (2 workers) -> train -> snapshot."""
     dataset = load_dataset("facebook", scale="tiny")
     print(f"[build] {dataset.graph}")
-    catalog = mine_catalog(dataset.graph, MinerConfig(max_nodes=4, min_support=3))
-    vectors, _index = build_vectors(dataset.graph, catalog)
-    catalog.save(artefact_dir / "catalog.json")
-    vectors.save(artefact_dir / "vectors.json")
-    trainer = Trainer(TrainerConfig(restarts=3, max_iterations=400, seed=0))
+    engine = SemanticProximitySearch(
+        dataset.graph,
+        anchor_type=dataset.anchor_type,
+        miner_config=MinerConfig(max_nodes=4, min_support=3),
+        trainer_config=TrainerConfig(restarts=3, max_iterations=400, seed=0),
+    )
+    start = time.perf_counter()
+    engine.prepare(build_config=IndexBuildConfig(workers=2))
+    offline_s = time.perf_counter() - start
+    print(
+        f"[build] offline phase done in {offline_s:.1f}s "
+        f"({len(engine.catalog)} metagraphs, 2 workers)"
+    )
     for class_name in dataset.classes:
         labels = dataset.class_labels(class_name)
         split = split_queries(dataset.queries(class_name), 0.2, 1, seed=0)[0]
-        triplets = generate_triplets(
-            split.train, labels, dataset.universe, num_examples=200, seed=0
+        engine.fit(
+            class_name, labels, queries=split.train, num_examples=200, seed=0
         )
-        weights = trainer.train(triplets, vectors)
-        model = ProximityModel(weights, vectors, name=class_name)
-        model.save_weights(artefact_dir / f"weights_{class_name}.json")
-        print(f"[build] trained + saved class {class_name!r}")
+        print(f"[build] trained class {class_name!r}")
+    engine.save_index(snapshot_dir)
+    files = sorted(p.name for p in snapshot_dir.iterdir())
+    total = sum(p.stat().st_size for p in snapshot_dir.iterdir())
+    print(f"[build] snapshot: {files} ({total / 1024:.1f} KiB)\n")
 
 
-def service(artefact_dir: Path) -> None:
-    """The online phase: load artefacts, compile, answer queries."""
-    catalog = MetagraphCatalog.load(artefact_dir / "catalog.json")
-    vectors = MetagraphVectors.load(artefact_dir / "vectors.json")
-    vectors.verify_catalog(catalog)
-    compiled = vectors.compile()
-    models = {
-        path.stem.removeprefix("weights_"): ProximityModel.load_weights(
-            path, vectors
-        ).compile(compiled)
-        for path in sorted(artefact_dir.glob("weights_*.json"))
-    }
+def service(snapshot_dir: Path) -> None:
+    """The online phase: cold-start from the snapshot, answer queries."""
+    dataset = load_dataset("facebook", scale="tiny")  # deterministic graph
+    start = time.perf_counter()
+    engine = SemanticProximitySearch.from_index(snapshot_dir, dataset.graph)
+    cold_start_s = time.perf_counter() - start
     print(
-        f"[service] loaded {len(models)} classes over {len(catalog)} "
-        f"metagraphs; serving backend {compiled!r}"
+        f"[service] cold start in {cold_start_s * 1e3:.1f} ms: "
+        f"{len(engine.classes)} classes over {len(engine.catalog)} "
+        f"metagraphs, no mining or matching"
     )
 
-    query = sorted(vectors.nodes_with_counts())[0]
-    for class_name, model in models.items():
+    query = sorted(engine.vectors.nodes_with_counts())[0]
+    for class_name in engine.classes:
         start = time.perf_counter()
-        results = model.rank(query, k=3)
+        results = engine.query(class_name, query, k=3)
         elapsed = (time.perf_counter() - start) * 1e3
         print(f"\n[service] {query} / {class_name!r} ({elapsed:.2f} ms):")
         for node, score in results:
             reasons = [
-                f"{catalog[mg_id].name}:{contribution:.2f}"
-                for mg_id, contribution in model.explain(query, node, k=2)
+                f"{metagraph.name}:{contribution:.2f}"
+                for metagraph, contribution in engine.explain(
+                    class_name, query, node, k=2
+                )
             ]
             print(f"  {node}  pi={score:.3f}  because {', '.join(reasons)}")
 
-    batched_comparison(models)
+    batched_comparison(engine)
 
 
-def batched_comparison(models: dict[str, ProximityModel]) -> None:
+def batched_comparison(engine: SemanticProximitySearch) -> None:
     """Serve a whole query batch on both backends and compare latency."""
-    class_name, model = next(iter(models.items()))
+    class_name = engine.classes[0]
+    model = engine.model(class_name)
     scalar = ProximityModel(model.weights, model.vectors, name=model.name)
-    universe = SortedUniverse(model.vectors.nodes_with_counts())
+    universe = engine.universe()
     queries = list(universe)[: min(32, len(universe))]
 
     # warm both paths (dense-vector caches on the scalar side) so the
     # printed ratio compares steady-state serving, not first-touch cost
+    engine.query_many(class_name, queries, k=5)
     for query in queries:
-        model.rank(query, universe=universe, k=5)
         scalar.rank(query, universe=universe, k=5)
 
     start = time.perf_counter()
-    compiled_rankings = [model.rank(q, universe=universe, k=5) for q in queries]
+    compiled_rankings = engine.query_many(class_name, queries, k=5)
     compiled_ms = (time.perf_counter() - start) * 1e3
     start = time.perf_counter()
     scalar_rankings = [scalar.rank(q, universe=universe, k=5) for q in queries]
@@ -121,12 +134,18 @@ def batched_comparison(models: dict[str, ProximityModel]) -> None:
 
 
 def main() -> None:
-    with tempfile.TemporaryDirectory() as tmp:
-        artefact_dir = Path(tmp)
-        build_job(artefact_dir)
-        files = sorted(p.name for p in artefact_dir.iterdir())
-        print(f"\n[build] artefacts: {files}\n")
-        service(artefact_dir)
+    if len(sys.argv) > 1:
+        snapshot_dir = Path(sys.argv[1])
+        snapshot_dir.mkdir(parents=True, exist_ok=True)
+        build_job(snapshot_dir)
+        service(snapshot_dir)
+        print(f"\n[done] snapshot kept at {snapshot_dir}")
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            snapshot_dir = Path(tmp) / "snapshot"
+            snapshot_dir.mkdir()
+            build_job(snapshot_dir)
+            service(snapshot_dir)
 
 
 if __name__ == "__main__":

@@ -1,7 +1,15 @@
 """``python -m repro`` dispatches to the CLI."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # downstream pager/head closed the pipe: exit quietly like a good
+    # unix citizen (devnull swap stops the interpreter's own flush of
+    # sys.stdout from raising again)
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(0)

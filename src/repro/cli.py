@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any table or figure, or serve.
+"""Command-line entry point: regenerate tables/figures, serve, or index.
 
 Usage::
 
@@ -6,12 +6,16 @@ Usage::
     python -m repro fig6 --scale small --splits 3
     python -m repro all --quick
     python -m repro serve --quick --queries u1,u2 --k 5
+    python -m repro index build --dataset linkedin --out idx/ --workers 4
+    python -m repro index info idx/
 
 ``--quick`` switches to the tiny preset (minutes); the default ``small``
 scale is the one EXPERIMENTS.md records.  ``serve`` runs the online
 phase end to end — offline build, training, then batched ranking
 through the compiled scoring backend (``--scalar`` for the reference
-path) — and prints rankings plus throughput.
+path) — and prints rankings plus throughput.  ``index build`` runs the
+offline phase (optionally on a worker pool) and persists a versioned
+snapshot; ``index info`` verifies and describes one.
 """
 
 from __future__ import annotations
@@ -33,15 +37,17 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduction of 'Semantic Proximity Search on Graphs with "
             "Metagraph-based Learning' (ICDE 2016): regenerate any table "
-            "or figure of the evaluation section."
+            "or figure of the evaluation section.  See also `repro index "
+            "build|info` for persistent offline index snapshots."
         ),
     )
     parser.add_argument(
         "experiment",
-        choices=[*sorted(EXPERIMENTS), "all", "serve"],
+        choices=[*sorted(EXPERIMENTS), "all", "serve", "index"],
         help=(
             "which table/figure to regenerate ('all' runs everything; "
-            "'serve' runs the online phase as a batched query service)"
+            "'serve' runs the online phase as a batched query service; "
+            "'index' manages snapshots — see `repro index --help`)"
         ),
     )
     parser.add_argument(
@@ -203,10 +209,141 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     return 0
 
 
+def build_index_parser() -> argparse.ArgumentParser:
+    """The `python -m repro index` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro index",
+        description=(
+            "Build, persist and inspect offline index snapshots "
+            "(catalog + Eq. 1-2 counts + fitted classes)."
+        ),
+    )
+    actions = parser.add_subparsers(dest="action", required=True)
+    build = actions.add_parser(
+        "build", help="run the offline phase and persist a snapshot"
+    )
+    build.add_argument(
+        "--dataset",
+        choices=["linkedin", "facebook"],
+        default="linkedin",
+        help="dataset to index (default: linkedin)",
+    )
+    build.add_argument(
+        "--scale",
+        choices=["tiny", "small", "medium"],
+        default="tiny",
+        help="dataset scale preset (default: tiny)",
+    )
+    build.add_argument(
+        "--out", required=True, help="snapshot directory to write"
+    )
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="matching worker processes (default: 1 = sequential)",
+    )
+    build.add_argument(
+        "--max-nodes", type=int, default=4, help="largest mined pattern size"
+    )
+    build.add_argument(
+        "--min-support", type=int, default=3, help="MNI support threshold"
+    )
+    info = actions.add_parser(
+        "info", help="verify a snapshot and print its manifest summary"
+    )
+    info.add_argument("path", help="snapshot directory")
+    return parser
+
+
+def run_index(argv: list[str]) -> int:
+    """The ``index`` subcommand family: build and inspect snapshots."""
+    from repro.datasets import load_dataset
+    from repro.exceptions import SnapshotError
+    from repro.index import IndexBuildConfig, build_index, load_index, save_index
+    from repro.mining import MinerConfig, mine_catalog
+
+    args = build_index_parser().parse_args(argv)
+    if args.action == "info":
+        try:
+            loaded = load_index(args.path)
+        except SnapshotError as exc:
+            print(f"[index] invalid snapshot at {args.path}: {exc}", file=sys.stderr)
+            return 1
+        manifest = loaded.manifest
+        stats = manifest["stats"]
+        print(f"[index] snapshot at {args.path} (verified)")
+        print(f"  format version : {manifest['format_version']}")
+        print(f"  anchor type    : {manifest['anchor_type']}")
+        print(f"  metagraphs     : {manifest['catalog_size']}")
+        print(
+            f"  counts         : {stats['num_nodes']} nodes, "
+            f"{stats['num_pairs']} pairs, "
+            f"{stats['node_nnz'] + stats['pair_nnz']} nonzeros"
+        )
+        print(f"  transform      : {manifest['transform']}")
+        print(f"  graph          : {manifest['graph_fingerprint']}")
+        print(f"  catalog sha256 : {manifest['catalog_sha256']}")
+        print(f"  classes        : {manifest['models'] or '(none fitted)'}")
+        for key, value in sorted(manifest.get("extra", {}).items()):
+            print(f"  {key:<15}: {value}")
+        return 0
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    print(f"[index] building over {dataset.graph!r}")
+    miner_config = MinerConfig(max_nodes=args.max_nodes, min_support=args.min_support)
+    start = time.perf_counter()
+    catalog = mine_catalog(
+        dataset.graph, miner_config, anchor_type=dataset.anchor_type
+    )
+    mining_s = time.perf_counter() - start
+    print(f"[index] mined {len(catalog)} metagraphs in {mining_s:.1f}s")
+    start = time.perf_counter()
+    vectors, index = build_index(
+        dataset.graph, catalog, config=IndexBuildConfig(workers=args.workers)
+    )
+    matching_s = time.perf_counter() - start
+    print(
+        f"[index] matched {len(index)} metagraphs in {matching_s:.1f}s "
+        f"({args.workers} worker(s))"
+    )
+    target = save_index(
+        args.out,
+        vectors,
+        catalog,
+        graph=dataset.graph,
+        index=index,
+        extra={
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "workers": args.workers,
+            "miner_config": miner_config.to_json_dict(),
+        },
+    )
+    total = sum(f.stat().st_size for f in target.iterdir())
+    print(f"[index] snapshot written to {target} ({total / 1024:.1f} KiB)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "index":
+        return run_index(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.experiment == "index":
+        # reachable when flags precede the command ("--quick index"):
+        # the index family has its own parser and flag set
+        print(
+            "the 'index' command takes its own options; invoke it as "
+            "`repro index build|info ...` with nothing before it",
+            file=sys.stderr,
+        )
+        return 2
     config = config_from_args(args)
     if args.experiment == "serve":
         return run_serve(args, config)

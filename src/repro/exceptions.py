@@ -80,6 +80,14 @@ class CatalogMismatchError(IndexError_, ValueError):
     """Vectors/weights refer to a different metagraph catalog than provided."""
 
 
+class SnapshotError(IndexError_, ValueError):
+    """A persisted index snapshot is missing, corrupt, or incompatible."""
+
+
+class StaleSnapshotError(SnapshotError):
+    """A snapshot's fingerprints do not match the current graph/catalog."""
+
+
 class DatasetError(ReproError):
     """Base class for errors raised by dataset generators/loaders."""
 

@@ -31,6 +31,9 @@ class ExperimentConfig:
     srw_epochs: int = 15
     srw_power_iterations: int = 30
     seed: int = 0
+    # offline index build: worker processes for the matching phase
+    # (1 = sequential reference path; results are identical either way)
+    index_workers: int = 1
     # Fig. 8 / Fig. 10 candidate sweeps, per dataset
     candidate_sweep: dict[str, tuple[int, ...]] = field(
         default_factory=lambda: {

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from repro.datasets import LabeledGraphDataset, load_dataset
 from repro.experiments.config import ExperimentConfig
 from repro.index.instance_index import InstanceIndex
-from repro.index.vectors import MetagraphVectors, build_vectors
+from repro.index.parallel import IndexBuildConfig, build_index
+from repro.index.vectors import MetagraphVectors
 from repro.learning.trainer import Trainer, TrainerConfig
 from repro.metagraph.catalog import MetagraphCatalog
 from repro.mining import build_catalog
@@ -71,9 +72,10 @@ class OfflineRunner:
         mining_seconds = time.perf_counter() - start
         per_mg: dict[int, float] = {}
         start = time.perf_counter()
-        vectors, index = build_vectors(
+        vectors, index = build_index(
             dataset.graph,
             catalog,
+            config=IndexBuildConfig(workers=self.config.index_workers),
             on_metagraph=lambda mg_id, sec: per_mg.__setitem__(mg_id, sec),
         )
         matching_seconds = time.perf_counter() - start

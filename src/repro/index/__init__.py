@@ -1,10 +1,20 @@
-"""Instance indexing and metagraph vectors (Eq. 1–2)."""
+"""Instance indexing, metagraph vectors (Eq. 1–2), and persistence."""
 
 from repro.index.compiled import CompiledVectors
 from repro.index.instance_index import (
     InstanceIndex,
     MetagraphCounts,
     match_and_count,
+)
+from repro.index.parallel import IndexBuildConfig, build_index
+from repro.index.persist import (
+    FORMAT_VERSION,
+    LoadedIndex,
+    catalog_fingerprint,
+    graph_fingerprint,
+    load_index,
+    read_manifest,
+    save_index,
 )
 from repro.index.transform import (
     TRANSFORMS,
@@ -14,19 +24,35 @@ from repro.index.transform import (
     log1p,
     sqrt,
 )
-from repro.index.vectors import MetagraphVectors, build_vectors
+from repro.index.vectors import (
+    MetagraphVectors,
+    build_vectors,
+    decode_node_id,
+    encode_node_id,
+)
 
 __all__ = [
+    "FORMAT_VERSION",
     "TRANSFORMS",
     "CompiledVectors",
+    "IndexBuildConfig",
     "InstanceIndex",
+    "LoadedIndex",
     "MetagraphCounts",
     "MetagraphVectors",
     "Transform",
+    "build_index",
     "build_vectors",
+    "catalog_fingerprint",
+    "decode_node_id",
+    "encode_node_id",
     "get_transform",
+    "graph_fingerprint",
     "identity",
+    "load_index",
     "log1p",
     "match_and_count",
+    "read_manifest",
+    "save_index",
     "sqrt",
 ]

@@ -1,0 +1,229 @@
+"""Parallel offline index builds: shard matching across worker processes.
+
+The offline phase's cost is Eq. 1–2 counting — one independent
+``match_and_count`` per metagraph — so it parallelises along two axes:
+
+- **across metagraphs**: each catalog id is one task;
+- **across graph partitions**: a pattern with at least
+  ``IndexBuildConfig.min_partition_size`` nodes is further split with
+  :func:`repro.matching.partition.shard_embeddings`, so a handful of
+  expensive patterns cannot serialise the build on one worker.
+
+Workers receive the graph and catalog once (pool initializer), return
+plain counters or per-instance records, and the parent folds results in
+ascending metagraph-id order.  Sharded results are merged with
+instance-level deduplication before counting, so the store is
+*bit-identical* to the sequential :func:`~repro.index.vectors.build_vectors`
+output — the determinism suite compares snapshot bytes across worker
+counts to prove it.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.graph.typed_graph import TypedGraph
+from repro.index.instance_index import (
+    InstanceIndex,
+    MetagraphCounts,
+    _pair_key,
+    match_and_count,
+)
+from repro.index.transform import Transform, identity
+from repro.index.vectors import MetagraphVectors, build_vectors
+from repro.matching.base import deduplicate_instances
+from repro.matching.partition import shard_embeddings
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.metagraph.metagraph import Metagraph
+from repro.metagraph.symmetry import anchor_symmetric_pairs
+
+# instance records: node set -> the instance's symmetric-pair keys
+InstanceRecords = dict[frozenset, frozenset]
+
+
+@dataclass(frozen=True)
+class IndexBuildConfig:
+    """Knobs for the offline index build.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size.  ``1`` (default) runs the sequential
+        reference path in-process — no pool, no pickling.
+    min_partition_size:
+        Patterns with at least this many nodes are sharded across graph
+        partitions as well as across metagraphs.  Small patterns are
+        cheap enough that one task each is the better trade.
+    partitions_per_metagraph:
+        How many graph partitions a large pattern is split into
+        (default: ``workers``).
+    """
+
+    workers: int = 1
+    min_partition_size: int = 4
+    partitions_per_metagraph: int | None = None
+
+    def partitions_for(self, metagraph: Metagraph) -> int:
+        """Number of shards for one pattern under this configuration."""
+        if self.workers <= 1 or metagraph.size < self.min_partition_size:
+            return 1
+        return max(1, self.partitions_per_metagraph or self.workers)
+
+
+# ----------------------------------------------------------------------
+# worker side: module-level state installed once per process
+# ----------------------------------------------------------------------
+_worker_graph: TypedGraph | None = None
+_worker_catalog: MetagraphCatalog | None = None
+
+
+def _init_worker(graph: TypedGraph, catalog: MetagraphCatalog) -> None:
+    global _worker_graph, _worker_catalog
+    _worker_graph = graph
+    _worker_catalog = catalog
+
+
+def _whole_metagraph_task(mg_id: int) -> tuple[int, MetagraphCounts, float]:
+    """One unsharded task: the sequential per-metagraph counting."""
+    start = time.perf_counter()
+    counts = match_and_count(
+        _worker_graph,
+        _worker_catalog[mg_id],
+        anchor_type=_worker_catalog.anchor_type,
+    )
+    return mg_id, counts, time.perf_counter() - start
+
+
+def _shard_task(
+    mg_id: int, shard: int, num_shards: int
+) -> tuple[int, InstanceRecords, float]:
+    """One graph-partition shard of a large pattern's instance stream."""
+    start = time.perf_counter()
+    records = shard_instance_records(
+        _worker_graph,
+        _worker_catalog[mg_id],
+        _worker_catalog.anchor_type,
+        shard,
+        num_shards,
+    )
+    return mg_id, records, time.perf_counter() - start
+
+
+def shard_instance_records(
+    graph: TypedGraph,
+    metagraph: Metagraph,
+    anchor_type: str,
+    shard: int,
+    num_shards: int,
+) -> InstanceRecords:
+    """Instances found in one shard, as ``{node set: symmetric pairs}``.
+
+    The pair set of an instance is witness-independent (symmetric
+    pattern-node pairs are invariant under automorphisms), so records of
+    the same instance from different shards are equal and merging is a
+    plain dict union.
+    """
+    sym_pairs = anchor_symmetric_pairs(metagraph, anchor_type)
+    ordered = sorted(metagraph.nodes())
+    position = {u: i for i, u in enumerate(ordered)}
+    records: InstanceRecords = {}
+    for instance in deduplicate_instances(
+        shard_embeddings(graph, metagraph, shard, num_shards)
+    ):
+        emb = instance.embedding
+        records[instance.nodes] = frozenset(
+            _pair_key(emb[position[u]], emb[position[v]]) for u, v in sym_pairs
+        )
+    return records
+
+
+def counts_from_records(records: InstanceRecords) -> MetagraphCounts:
+    """Fold merged instance records into Eq. 1–2 counts.
+
+    Mirrors :func:`~repro.index.instance_index.match_and_count` exactly:
+    one count per instance per distinct pair, one per distinct node
+    appearing in those pairs.
+    """
+    counts = MetagraphCounts(num_instances=len(records))
+    for pairs in records.values():
+        for pair in pairs:
+            counts.pair_counts[pair] += 1
+        for node in {node for pair in pairs for node in pair}:
+            counts.node_counts[node] += 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+def build_index(
+    graph: TypedGraph,
+    catalog: MetagraphCatalog,
+    config: IndexBuildConfig | None = None,
+    transform: Transform = identity,
+    on_metagraph: Callable[[int, float], None] | None = None,
+) -> tuple[MetagraphVectors, InstanceIndex]:
+    """Match every catalog metagraph and build the vector store.
+
+    With ``workers=1`` this *is* :func:`~repro.index.vectors.build_vectors`;
+    with more workers the same counts are produced by a process pool and
+    folded deterministically (ascending metagraph id), so downstream
+    artefacts are identical whatever the worker count.  ``on_metagraph``
+    receives ``(mg_id, seconds)`` per metagraph; under the pool the
+    seconds are summed worker-side wall clock, i.e. matching cost, not
+    queueing.
+    """
+    config = config or IndexBuildConfig()
+    if config.workers <= 1:
+        return build_vectors(
+            graph, catalog, transform=transform, on_metagraph=on_metagraph
+        )
+
+    store = MetagraphVectors(
+        len(catalog), anchor_type=catalog.anchor_type, transform=transform
+    )
+    store.verify_catalog(catalog)
+    index = InstanceIndex(len(catalog), anchor_type=catalog.anchor_type)
+
+    counts_by_id: dict[int, MetagraphCounts] = {}
+    seconds_by_id: dict[int, float] = {}
+    records_by_id: dict[int, InstanceRecords] = {}
+
+    with ProcessPoolExecutor(
+        max_workers=config.workers,
+        initializer=_init_worker,
+        initargs=(graph, catalog),
+    ) as pool:
+        futures = []
+        for mg_id in catalog.ids():
+            num_shards = config.partitions_for(catalog[mg_id])
+            if num_shards == 1:
+                futures.append(pool.submit(_whole_metagraph_task, mg_id))
+            else:
+                futures.extend(
+                    pool.submit(_shard_task, mg_id, shard, num_shards)
+                    for shard in range(num_shards)
+                )
+        for future in futures:
+            mg_id, result, seconds = future.result()
+            seconds_by_id[mg_id] = seconds_by_id.get(mg_id, 0.0) + seconds
+            if isinstance(result, MetagraphCounts):
+                counts_by_id[mg_id] = result
+            else:
+                # merge shards as they land: the dict union IS the
+                # instance-level dedup, and it is order-independent
+                records_by_id.setdefault(mg_id, {}).update(result)
+
+    for mg_id, merged in records_by_id.items():
+        counts_by_id[mg_id] = counts_from_records(merged)
+
+    for mg_id in catalog.ids():  # deterministic fold order
+        counts = counts_by_id[mg_id]
+        index.add(mg_id, counts)
+        store.add_counts(mg_id, counts)
+        if on_metagraph is not None:
+            on_metagraph(mg_id, seconds_by_id[mg_id])
+    return store, index

@@ -1,0 +1,427 @@
+"""Versioned on-disk snapshots of the offline index.
+
+The offline phase (mine → match → Eq. 1–2 counting) is by far the most
+expensive part of the pipeline, yet its product — the sparse counts —
+is tiny.  A snapshot freezes everything a cold-starting service needs
+into one directory:
+
+- ``manifest.json`` — format version, catalog/graph fingerprints, the
+  node-id table, array checksums, per-class model names;
+- ``catalog.json`` — the metagraph catalog (its own JSON format);
+- ``arrays.npz`` — CSR-style count arrays and model weight vectors,
+  compressed.
+
+Loading validates before trusting: a wrong format version, a tampered
+or truncated arrays file, a catalog that no longer hashes to the
+manifest's digest, or a graph whose fingerprint differs from the one
+the index was built on all raise :class:`~repro.exceptions.SnapshotError`
+(staleness as the :class:`~repro.exceptions.StaleSnapshotError`
+subclass) instead of silently serving wrong rankings.
+
+Snapshots are byte-deterministic: every JSON key and array row is
+written in sorted order and the zip members carry a fixed timestamp, so
+two builds of the same counts — sequential or parallel, any
+``PYTHONHASHSEED`` — produce identical files.  The determinism suite
+relies on this to prove the parallel builder exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import SnapshotError, StaleSnapshotError
+from repro.graph.typed_graph import TypedGraph
+from repro.index.instance_index import InstanceIndex, MetagraphCounts
+from repro.index.transform import TRANSFORMS, Transform
+from repro.index.vectors import MetagraphVectors, decode_node_id, encode_node_id
+from repro.metagraph.catalog import MetagraphCatalog
+
+FORMAT_VERSION = 1
+MANIFEST_FILE = "manifest.json"
+CATALOG_FILE = "catalog.json"
+ARRAYS_FILE = "arrays.npz"
+
+# fixed member timestamp (the zip epoch) so snapshot bytes never depend
+# on the wall clock
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def graph_fingerprint(graph: TypedGraph) -> str:
+    """Content hash of a typed graph (nodes, types, edges; order-free).
+
+    Node ids go through the snapshot codec, so the fingerprint is
+    deterministic under hash randomisation and stable across processes.
+    """
+    nodes = sorted(
+        ([encode_node_id(node), graph.node_type(node)] for node in graph.nodes()),
+        key=repr,
+    )
+    edges = sorted(
+        ([encode_node_id(u), encode_node_id(v)] for u, v in graph.edges()),
+        key=repr,
+    )
+    doc = json.dumps([nodes, edges], separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+def catalog_fingerprint(catalog: MetagraphCatalog) -> str:
+    """Content hash of a metagraph catalog (via its canonical JSON)."""
+    return hashlib.sha256(catalog.to_json().encode("utf-8")).hexdigest()
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _manifest_digest(manifest: dict) -> str:
+    """Digest of every manifest field except the digest itself.
+
+    The manifest is the snapshot's root of trust (node-id table, model
+    list, recorded hashes), so it needs its own integrity check: JSON
+    that parses fine after a bit flip inside a node id would otherwise
+    attach every count row to the wrong node.
+    """
+    core = {k: v for k, v in manifest.items() if k != "manifest_sha256"}
+    return _sha256(
+        json.dumps(core, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+
+
+# ----------------------------------------------------------------------
+# deterministic npz
+# ----------------------------------------------------------------------
+def _deterministic_npz_bytes(arrays: dict[str, np.ndarray]) -> bytes:
+    """``np.savez_compressed`` without its wall-clock zip timestamps."""
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+        for name in sorted(arrays):
+            payload = io.BytesIO()
+            np.lib.format.write_array(
+                payload, np.ascontiguousarray(arrays[name]), allow_pickle=False
+            )
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_DEFLATED
+            info.external_attr = 0o644 << 16
+            archive.writestr(info, payload.getvalue())
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+def _transform_name(transform: Transform) -> str | None:
+    for name, known in TRANSFORMS.items():
+        if transform is known:
+            return name
+    return None
+
+
+def save_index(
+    path: str | Path,
+    vectors: MetagraphVectors,
+    catalog: MetagraphCatalog,
+    graph: TypedGraph | None = None,
+    index: InstanceIndex | None = None,
+    models: dict[str, np.ndarray] | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Write a versioned snapshot directory; returns its path.
+
+    ``graph`` pins the snapshot to one graph via its fingerprint —
+    always pass it when available, it is what makes staleness
+    detectable.  ``index`` contributes the per-metagraph ``|I(M)|``
+    totals, ``models`` the fitted per-class weight vectors, and
+    ``extra`` is free-form JSON provenance (dataset name, mining knobs,
+    worker count) surfaced by ``repro index info``.
+    """
+    vectors.verify_catalog(catalog)
+    target = Path(path)
+    target.mkdir(parents=True, exist_ok=True)
+
+    node_counts = vectors._node
+    pair_counts = vectors._pair
+    nodes = sorted(
+        set(node_counts) | {n for pair in pair_counts for n in pair}, key=repr
+    )
+    position = {node: i for i, node in enumerate(nodes)}
+
+    arrays: dict[str, np.ndarray] = {}
+    arrays["matched_ids"] = np.asarray(sorted(vectors.matched_ids), dtype=np.int64)
+
+    node_indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+    node_mg: list[int] = []
+    node_count: list[int] = []
+    for i, node in enumerate(nodes):
+        for mg_id, count in sorted(node_counts.get(node, {}).items()):
+            node_mg.append(mg_id)
+            node_count.append(count)
+        node_indptr[i + 1] = len(node_mg)
+    arrays["node_indptr"] = node_indptr
+    arrays["node_mg"] = np.asarray(node_mg, dtype=np.int64)
+    arrays["node_count"] = np.asarray(node_count, dtype=np.int64)
+
+    pair_keys = sorted(
+        pair_counts, key=lambda pair: (position[pair[0]], position[pair[1]])
+    )
+    pair_indptr = np.zeros(len(pair_keys) + 1, dtype=np.int64)
+    pair_mg: list[int] = []
+    pair_count: list[int] = []
+    for r, key in enumerate(pair_keys):
+        for mg_id, count in sorted(pair_counts[key].items()):
+            pair_mg.append(mg_id)
+            pair_count.append(count)
+        pair_indptr[r + 1] = len(pair_mg)
+    arrays["pair_indptr"] = pair_indptr
+    arrays["pair_mg"] = np.asarray(pair_mg, dtype=np.int64)
+    arrays["pair_count"] = np.asarray(pair_count, dtype=np.int64)
+    arrays["pair_left"] = np.asarray(
+        [position[x] for x, _ in pair_keys], dtype=np.int64
+    )
+    arrays["pair_right"] = np.asarray(
+        [position[y] for _, y in pair_keys], dtype=np.int64
+    )
+
+    if index is not None:
+        arrays["instance_totals"] = np.asarray(
+            [index.num_instances(mg_id) for mg_id in sorted(index.matched_ids())],
+            dtype=np.int64,
+        )
+        arrays["instance_total_ids"] = np.asarray(
+            sorted(index.matched_ids()), dtype=np.int64
+        )
+
+    model_names = sorted(models) if models else []
+    for slot, name in enumerate(model_names):
+        weights = np.asarray(models[name], dtype=np.float64)
+        if weights.ndim != 1 or len(weights) != vectors.catalog_size:
+            raise SnapshotError(
+                f"model {name!r} weights of shape {weights.shape} do not "
+                f"match catalog size {vectors.catalog_size}"
+            )
+        arrays[f"model_{slot}"] = weights
+
+    catalog_json = catalog.to_json()
+    npz_bytes = _deterministic_npz_bytes(arrays)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "catalog_size": vectors.catalog_size,
+        "anchor_type": vectors.anchor_type,
+        "transform": _transform_name(vectors.transform),
+        "catalog_sha256": _sha256(catalog_json.encode("utf-8")),
+        "arrays_sha256": _sha256(npz_bytes),
+        "graph_fingerprint": graph_fingerprint(graph) if graph is not None else None,
+        "nodes": [encode_node_id(node) for node in nodes],
+        "models": model_names,
+        "extra": extra or {},
+        "stats": {
+            "num_nodes": len(nodes),
+            "num_pairs": len(pair_keys),
+            "node_nnz": len(node_mg),
+            "pair_nnz": len(pair_mg),
+            "matched": len(vectors.matched_ids),
+        },
+    }
+    manifest["manifest_sha256"] = _manifest_digest(manifest)
+    (target / CATALOG_FILE).write_text(catalog_json, encoding="utf-8")
+    (target / ARRAYS_FILE).write_bytes(npz_bytes)
+    (target / MANIFEST_FILE).write_text(
+        json.dumps(manifest, sort_keys=True, indent=1), encoding="utf-8"
+    )
+    return target
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+@dataclass
+class LoadedIndex:
+    """Everything a snapshot restores, ready for the online phase."""
+
+    catalog: MetagraphCatalog
+    vectors: MetagraphVectors
+    models: dict[str, np.ndarray]
+    manifest: dict
+    instance_totals: dict[int, int]
+
+    def instance_index(self) -> InstanceIndex:
+        """Reconstruct the per-metagraph :class:`InstanceIndex`.
+
+        The vector store keeps counts per metagraph id, so the per-id
+        counters invert exactly; ``|I(M)|`` totals come from the
+        snapshot when it carried them (0 otherwise — totals are not
+        derivable from anchor counts alone).
+        """
+        index = InstanceIndex(
+            self.vectors.catalog_size, anchor_type=self.vectors.anchor_type
+        )
+        per_mg: dict[int, MetagraphCounts] = {
+            mg_id: MetagraphCounts() for mg_id in self.vectors.matched_ids
+        }
+        for node, counts in self.vectors._node.items():
+            for mg_id, count in counts.items():
+                per_mg[mg_id].node_counts[node] = count
+        for pair, counts in self.vectors._pair.items():
+            for mg_id, count in counts.items():
+                per_mg[mg_id].pair_counts[pair] = count
+        for mg_id, counts in per_mg.items():
+            counts.num_instances = self.instance_totals.get(mg_id, 0)
+            index.add(mg_id, counts)
+        return index
+
+
+def read_manifest(path: str | Path) -> dict:
+    """Parse and version-check a snapshot manifest."""
+    manifest_path = Path(path) / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise SnapshotError(f"no index snapshot at {Path(path)!s} (missing manifest)")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"unreadable snapshot manifest: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot format version {version!r} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    if manifest.get("manifest_sha256") != _manifest_digest(manifest):
+        raise SnapshotError(
+            "snapshot manifest does not match its own digest "
+            "(corrupt or tampered snapshot)"
+        )
+    return manifest
+
+
+def load_index(
+    path: str | Path,
+    graph: TypedGraph | None = None,
+    transform: Transform | None = None,
+) -> LoadedIndex:
+    """Validate and restore a snapshot written by :func:`save_index`.
+
+    ``graph``, when given, must fingerprint to the graph the snapshot
+    was built on (:class:`StaleSnapshotError` otherwise).  ``transform``
+    overrides the manifest's named transform; it is required when the
+    snapshot was built with a custom (unnamed) one.
+    """
+    source = Path(path)
+    manifest = read_manifest(source)
+
+    if graph is not None:
+        recorded = manifest.get("graph_fingerprint")
+        current = graph_fingerprint(graph)
+        if recorded != current:
+            raise StaleSnapshotError(
+                "snapshot was built on a different graph "
+                f"(recorded fingerprint {str(recorded)[:12]}…, current "
+                f"{current[:12]}…); rebuild the index"
+            )
+
+    catalog_path = source / CATALOG_FILE
+    arrays_path = source / ARRAYS_FILE
+    for required in (catalog_path, arrays_path):
+        if not required.is_file():
+            raise SnapshotError(f"snapshot is missing {required.name}")
+    catalog_json = catalog_path.read_text(encoding="utf-8")
+    if _sha256(catalog_json.encode("utf-8")) != manifest.get("catalog_sha256"):
+        raise SnapshotError(
+            "snapshot catalog.json does not match the manifest digest "
+            "(corrupt or tampered snapshot)"
+        )
+    npz_bytes = arrays_path.read_bytes()
+    if _sha256(npz_bytes) != manifest.get("arrays_sha256"):
+        raise SnapshotError(
+            "snapshot arrays.npz does not match the manifest digest "
+            "(corrupt or tampered snapshot)"
+        )
+
+    if transform is None:
+        name = manifest.get("transform")
+        if name is None:
+            raise SnapshotError(
+                "snapshot was built with a custom transform; pass the same "
+                "transform= to load it"
+            )
+        transform = TRANSFORMS[name]
+
+    catalog = MetagraphCatalog.from_json(catalog_json)
+    try:
+        with np.load(io.BytesIO(npz_bytes), allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        raise SnapshotError(f"unreadable snapshot arrays: {exc}") from exc
+
+    nodes = [decode_node_id(doc) for doc in manifest["nodes"]]
+    store = MetagraphVectors(
+        manifest["catalog_size"],
+        anchor_type=manifest["anchor_type"],
+        transform=transform,
+    )
+    store.verify_catalog(catalog)
+    store._matched = set(int(i) for i in arrays["matched_ids"])
+
+    # cold-start latency is the point of a snapshot, so the row loops
+    # run over plain python lists — per-element numpy indexing is an
+    # order of magnitude slower at this shape
+    node_indptr = arrays["node_indptr"].tolist()
+    node_mg = arrays["node_mg"].tolist()
+    node_count = arrays["node_count"].tolist()
+    if len(node_indptr) != len(nodes) + 1:
+        raise SnapshotError("node table and node arrays disagree in length")
+    for i, node in enumerate(nodes):
+        lo, hi = node_indptr[i], node_indptr[i + 1]
+        if lo < hi:
+            store._node[node] = dict(zip(node_mg[lo:hi], node_count[lo:hi]))
+
+    pair_indptr = arrays["pair_indptr"].tolist()
+    pair_mg = arrays["pair_mg"].tolist()
+    pair_count = arrays["pair_count"].tolist()
+    pair_left = arrays["pair_left"].tolist()
+    pair_right = arrays["pair_right"].tolist()
+    partners = store._partners
+    for r in range(len(pair_indptr) - 1):
+        x, y = nodes[pair_left[r]], nodes[pair_right[r]]
+        lo, hi = pair_indptr[r], pair_indptr[r + 1]
+        store._pair[(x, y)] = dict(zip(pair_mg[lo:hi], pair_count[lo:hi]))
+        partners.setdefault(x, set()).add(y)
+        partners.setdefault(y, set()).add(x)
+
+    instance_totals: dict[int, int] = {}
+    if "instance_total_ids" in arrays:
+        instance_totals = {
+            int(mg_id): int(total)
+            for mg_id, total in zip(
+                arrays["instance_total_ids"], arrays["instance_totals"]
+            )
+        }
+
+    models: dict[str, np.ndarray] = {}
+    for slot, name in enumerate(manifest.get("models", [])):
+        if f"model_{slot}" not in arrays:
+            raise SnapshotError(
+                f"snapshot lists model {name!r} but carries no weights for it"
+            )
+        weights = np.asarray(arrays[f"model_{slot}"], dtype=np.float64)
+        if len(weights) != store.catalog_size:
+            raise SnapshotError(
+                f"model {name!r} weights do not match the catalog size"
+            )
+        models[name] = weights
+
+    return LoadedIndex(
+        catalog=catalog,
+        vectors=store,
+        models=models,
+        manifest=manifest,
+        instance_totals=instance_totals,
+    )

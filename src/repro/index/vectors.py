@@ -24,7 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import CatalogMismatchError
+from repro.exceptions import CatalogMismatchError, SnapshotError
 from repro.graph.typed_graph import NodeId, TypedGraph
 from repro.index.compiled import CompiledVectors
 from repro.index.instance_index import (
@@ -36,6 +36,34 @@ from repro.index.instance_index import (
 from repro.index.transform import Transform, identity
 from repro.matching.base import MatcherProtocol
 from repro.metagraph.catalog import MetagraphCatalog
+
+
+def encode_node_id(node: NodeId) -> object:
+    """JSON-safe, losslessly reversible encoding of a node id.
+
+    Scalars (str/int/float/bool/None) pass through; tuples become JSON
+    arrays *recursively* — lists are unhashable and therefore can never
+    be node ids, so the array form is unambiguous at every nesting
+    level.  Adversarial string ids (separators, brackets, JSON-looking
+    text) need no escaping because they stay ordinary JSON strings.
+    Anything else cannot round-trip and is rejected up front rather
+    than corrupting the artefact.
+    """
+    if isinstance(node, tuple):
+        return [encode_node_id(part) for part in node]
+    if node is None or isinstance(node, (str, int, float, bool)):
+        return node
+    raise SnapshotError(
+        f"node id {node!r} of type {type(node).__name__} cannot be "
+        "persisted; use str/int/float/bool/None or (nested) tuples of those"
+    )
+
+
+def decode_node_id(doc: object) -> NodeId:
+    """Inverse of :func:`encode_node_id` (arrays back to tuples, deep)."""
+    if isinstance(doc, list):
+        return tuple(decode_node_id(part) for part in doc)
+    return doc
 
 
 class MetagraphVectors:
@@ -164,19 +192,23 @@ class MetagraphVectors:
     def save(self, path: str | Path) -> None:
         """Persist raw counts to JSON (transform is re-applied on load).
 
-        Only string-keyed node ids round-trip; the transform itself is
-        not serialised — pass the same one to :meth:`load`.
+        Node ids are encoded with :func:`encode_node_id`, so strings
+        (however adversarial), numbers and arbitrarily nested tuples all
+        round-trip; unsupported id types raise
+        :class:`~repro.exceptions.SnapshotError` instead of writing an
+        unreadable file.  The transform itself is not serialised — pass
+        the same one to :meth:`load`.
         """
         doc = {
             "catalog_size": self.catalog_size,
             "anchor_type": self.anchor_type,
             "matched": sorted(self._matched),
             "node": [
-                [node, sorted(counts.items())]
+                [encode_node_id(node), sorted(counts.items())]
                 for node, counts in sorted(self._node.items(), key=lambda kv: repr(kv[0]))
             ],
             "pair": [
-                [list(pair), sorted(counts.items())]
+                [[encode_node_id(pair[0]), encode_node_id(pair[1])], sorted(counts.items())]
                 for pair, counts in sorted(self._pair.items(), key=lambda kv: repr(kv[0]))
             ],
         }
@@ -197,11 +229,10 @@ class MetagraphVectors:
         )
         store._matched = set(doc["matched"])
         for node, counts in doc["node"]:
-            node = tuple(node) if isinstance(node, list) else node
+            node = decode_node_id(node)
             store._node[node] = {int(k): v for k, v in counts}
         for (x, y), counts in doc["pair"]:
-            x = tuple(x) if isinstance(x, list) else x
-            y = tuple(y) if isinstance(y, list) else y
+            x, y = decode_node_id(x), decode_node_id(y)
             store._pair[(x, y)] = {int(k): v for k, v in counts}
             store._partners.setdefault(x, set()).add(y)
             store._partners.setdefault(y, set()).add(x)

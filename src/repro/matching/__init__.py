@@ -17,6 +17,7 @@ from repro.matching.ordering import (
     random_connected_order,
     rarest_type_order,
 )
+from repro.matching.partition import shard_embeddings
 from repro.matching.quicksi import QuickSIMatcher
 from repro.matching.symiso import SymISOMatcher
 from repro.matching.turboiso import TurboISOMatcher, candidate_regions
@@ -49,4 +50,5 @@ __all__ = [
     "is_valid_embedding",
     "random_connected_order",
     "rarest_type_order",
+    "shard_embeddings",
 ]

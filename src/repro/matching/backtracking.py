@@ -63,7 +63,9 @@ def backtrack_embeddings(
         sub-pattern (except position 0).
     candidate_pool:
         Optional per-pattern-node global candidate restriction
-        (TurboISO-style candidate regions).
+        (TurboISO-style candidate regions).  The mapping may be partial:
+        pattern nodes without an entry are unrestricted, which is how
+        the graph-partition sharder restricts only the search root.
     memoize:
         Cache candidate lists keyed on matched-neighbour assignments
         (BoostISO-style reuse).
@@ -84,11 +86,11 @@ def backtrack_embeddings(
         nbr_positions = neighbors_at[i]
         if not nbr_positions:
             pool = (
-                candidate_pool[order[i]]
+                candidate_pool.get(order[i])
                 if candidate_pool is not None
-                else graph.nodes_of_type(node_type)
+                else None
             )
-            yield from pool
+            yield from pool if pool is not None else graph.nodes_of_type(node_type)
             return
         if memoize:
             key = (i, tuple(assignment[j] for j in nbr_positions))
@@ -114,7 +116,7 @@ def backtrack_embeddings(
         )
         seed = graph.typed_adjacency(assignment[best_pos]).get(node_type, _EMPTY)
         others = [j for j in nbr_positions if j != best_pos]
-        pool = candidate_pool[order[i]] if candidate_pool is not None else None
+        pool = candidate_pool.get(order[i]) if candidate_pool is not None else None
         for v in seed:
             if pool is not None and v not in pool:
                 continue

@@ -18,6 +18,7 @@ the same semantics:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.graph.typed_graph import TypedGraph
@@ -52,6 +53,10 @@ class MinerConfig:
     max_edges: int | None = None
     min_support: int = 2
     embedding_budget: int = 2_000_000
+
+    def to_json_dict(self) -> dict:
+        """The knobs as plain JSON types (snapshot/manifest provenance)."""
+        return dataclasses.asdict(self)
 
 
 @dataclass(frozen=True)

@@ -18,16 +18,33 @@ Serving is compiled by default: ``prepare()`` freezes the counts into
 the CSR backend (:meth:`MetagraphVectors.compile`), every fitted model
 scores against it, and the sorted anchor universe is computed once and
 reused by ``query``/``query_many`` instead of being re-sorted per call.
+
+The offline phase is restartable: ``prepare(cache_dir=...)`` reuses a
+valid on-disk snapshot (and persists a fresh build), ``save_index()``
+snapshots the prepared index plus fitted classes, and ``from_index()``
+cold-starts an engine from a snapshot without mining or matching at
+all.  Builds parallelise over a process pool via
+:class:`~repro.index.parallel.IndexBuildConfig`.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping, Sequence
+from pathlib import Path
 
-from repro.exceptions import LearningError
+from repro.exceptions import LearningError, SnapshotError
 from repro.graph.typed_graph import NodeId, TypedGraph
 from repro.index.instance_index import InstanceIndex
-from repro.index.transform import Transform, identity
+from repro.index.parallel import IndexBuildConfig, build_index
+from repro.index.persist import (
+    MANIFEST_FILE,
+    LoadedIndex,
+    catalog_fingerprint,
+    load_index,
+    save_index,
+)
+from repro.index.transform import TRANSFORMS, Transform, identity
 from repro.index.vectors import MetagraphVectors, build_vectors
 from repro.learning.examples import generate_triplets
 from repro.learning.model import ProximityModel, SortedUniverse
@@ -79,31 +96,184 @@ class SemanticProximitySearch:
         self.index: InstanceIndex | None = None
         self._models: dict[str, ProximityModel] = {}
         self._universe: SortedUniverse | None = None
+        # True when this engine's catalog came from its own miner_config
+        # (snapshots then record the knobs so staleness is detectable)
+        self._catalog_from_mining = False
 
     # ------------------------------------------------------------------
     # offline phase
     # ------------------------------------------------------------------
-    def prepare(self, catalog: MetagraphCatalog | None = None) -> "SemanticProximitySearch":
+    def prepare(
+        self,
+        catalog: MetagraphCatalog | None = None,
+        cache_dir: str | Path | None = None,
+        build_config: IndexBuildConfig | None = None,
+    ) -> "SemanticProximitySearch":
         """Run the offline phase: mine (unless given a catalog), match, index.
 
         Re-preparing replaces the vector store, so previously fitted
         models (trained against the old counts) are dropped — refit
-        each class afterwards.
+        each class afterwards (snapshot-restored classes excepted, see
+        below).
+
+        ``cache_dir`` makes the phase restartable: a valid snapshot for
+        *this* graph (matching fingerprint, format version and
+        transform) is loaded instead of mining and matching — restoring
+        any classes it carries — and a fresh build is persisted there
+        for the next cold start.  A stale or corrupt snapshot is
+        rebuilt, never trusted.  ``build_config`` shards the matching
+        work across a process pool (:class:`IndexBuildConfig`); the
+        result is identical for any worker count.
         """
+        if cache_dir is not None:
+            try:
+                loaded = load_index(
+                    cache_dir, graph=self.graph, transform=self.transform
+                )
+                self._check_snapshot_compatible(loaded)
+                if catalog is not None:
+                    if catalog_fingerprint(catalog) != loaded.manifest.get(
+                        "catalog_sha256"
+                    ):
+                        raise SnapshotError(
+                            "snapshot catalog differs from the provided catalog"
+                        )
+                else:
+                    recorded_knobs = loaded.manifest.get("extra", {}).get(
+                        "miner_config"
+                    )
+                    if (
+                        recorded_knobs is not None
+                        and recorded_knobs != self.miner_config.to_json_dict()
+                    ):
+                        raise SnapshotError(
+                            f"snapshot was mined with {recorded_knobs}, this "
+                            f"engine mines with {self.miner_config.to_json_dict()}"
+                        )
+            except SnapshotError as exc:
+                # absent, stale, corrupt, or built under another engine
+                # configuration: rebuild below (and overwrite — a cache
+                # dir belongs to one engine configuration).  Anything
+                # beyond a plain missing snapshot is worth a warning so
+                # two engines ping-ponging one cache dir is diagnosable.
+                if (Path(cache_dir) / MANIFEST_FILE).exists():
+                    warnings.warn(
+                        f"rebuilding index cache at {cache_dir}: {exc}",
+                        stacklevel=2,
+                    )
+            else:
+                self._install_loaded(loaded)
+                return self
         if catalog is not None:
             self.catalog = catalog
+            self._catalog_from_mining = False
         else:
             self.catalog = mine_catalog(
                 self.graph, self.miner_config, anchor_type=self.anchor_type
             )
-        self.vectors, self.index = build_vectors(
-            self.graph, self.catalog, transform=self.transform
+            self._catalog_from_mining = True
+        self.vectors, self.index = build_index(
+            self.graph, self.catalog, config=build_config, transform=self.transform
         )
         if self.compile_serving:
             self.vectors.compile()
         self._universe = None
         self._models.clear()
+        if cache_dir is not None:
+            self.save_index(cache_dir)
         return self
+
+    def _check_snapshot_compatible(self, loaded: LoadedIndex) -> None:
+        """Reject a snapshot this engine cannot serve from as stale."""
+        if loaded.vectors.anchor_type != self.anchor_type:
+            raise SnapshotError(
+                f"snapshot anchors {loaded.vectors.anchor_type!r}, engine "
+                f"anchors {self.anchor_type!r}"
+            )
+        recorded = loaded.manifest.get("transform")
+        current = next(
+            (name for name, fn in TRANSFORMS.items() if fn is self.transform),
+            None,
+        )
+        if recorded != current:
+            raise SnapshotError(
+                f"snapshot counts use transform {recorded!r}, engine uses "
+                f"{current!r}"
+            )
+
+    def _install_loaded(self, loaded: LoadedIndex) -> None:
+        """Adopt a loaded snapshot as this engine's offline artefacts."""
+        self.catalog = loaded.catalog
+        self.vectors = loaded.vectors
+        self._catalog_from_mining = (
+            loaded.manifest.get("extra", {}).get("miner_config") is not None
+        )
+        self.index = loaded.instance_index()
+        self._universe = None
+        self._models.clear()
+        if self.compile_serving:
+            self.vectors.compile()
+        for name, weights in loaded.models.items():
+            model = ProximityModel(weights, self.vectors, name=name)
+            if self.compile_serving:
+                model.compile()
+            self._models[name] = model
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save_index(self, path: str | Path) -> Path:
+        """Snapshot the offline artefacts (and fitted classes) to disk.
+
+        The snapshot carries the catalog, the count store, per-metagraph
+        instance totals, the graph fingerprint, and one weight vector
+        per fitted class; :meth:`from_index` restores all of it.  When
+        the catalog was mined (rather than supplied), the mining knobs
+        are recorded too, so ``prepare(cache_dir=...)`` can detect a
+        snapshot mined under different knobs and rebuild.
+        """
+        catalog, vectors = self._require_prepared()
+        extra = (
+            {"miner_config": self.miner_config.to_json_dict()}
+            if self._catalog_from_mining
+            else None
+        )
+        return save_index(
+            path,
+            vectors,
+            catalog,
+            graph=self.graph,
+            index=self.index,
+            models={name: model.weights for name, model in self._models.items()},
+            extra=extra,
+        )
+
+    @classmethod
+    def from_index(
+        cls,
+        path: str | Path,
+        graph: TypedGraph,
+        trainer_config: TrainerConfig | None = None,
+        transform: Transform | None = None,
+        compile_serving: bool = True,
+    ) -> "SemanticProximitySearch":
+        """Cold-start an engine from a snapshot: no mining, no matching.
+
+        ``graph`` must be the graph the snapshot was built on (checked
+        by fingerprint).  Restored classes serve immediately;
+        ``transform`` is only needed when the snapshot was built with a
+        custom (unnamed) count transform.
+        """
+        loaded = load_index(path, graph=graph, transform=transform)
+        engine = cls(
+            graph,
+            anchor_type=loaded.vectors.anchor_type,
+            trainer_config=trainer_config,
+            transform=loaded.vectors.transform,
+            compile_serving=compile_serving,
+        )
+        engine._install_loaded(loaded)
+        return engine
 
     def universe(self) -> SortedUniverse:
         """The anchor universe sorted by repr, computed once and cached.

@@ -3,9 +3,17 @@
 import numpy as np
 import pytest
 
+from repro.exceptions import SnapshotError
+from repro.graph.typed_graph import TypedGraph
 from repro.index.transform import log1p
-from repro.index.vectors import MetagraphVectors, build_vectors
+from repro.index.vectors import (
+    MetagraphVectors,
+    build_vectors,
+    decode_node_id,
+    encode_node_id,
+)
 from repro.metagraph.catalog import MetagraphCatalog
+from repro.metagraph.metagraph import metapath
 
 
 @pytest.fixture
@@ -57,3 +65,76 @@ class TestPersistence:
         model = ProximityModel(np.ones(restored.catalog_size), restored)
         ranking = model.rank("Bob", universe=["Alice", "Kate", "Jay", "Tom"])
         assert ranking[0][1] > 0
+
+
+class TestAdversarialNodeIds:
+    """Regression: node ids must round-trip whatever their shape.
+
+    The JSON pair encoding once converted only the *top* level of a
+    tuple id back from its array form, so nested tuples came back with
+    unhashable list components and crashed the load; separator-laden
+    strings relied on luck.  Ids now go through an explicit codec that
+    round-trips scalars and (nested) tuples and rejects everything else
+    at save time.
+    """
+
+    ADVERSARIAL_IDS = [
+        "plain",
+        "with|pipe",
+        "with,comma",
+        'looks like ["json", 1]',
+        "('a', 'b')",  # repr of a tuple, as a string
+        7,
+        ("tuple", 3),
+        (("nested", 1), "deep"),
+        ((("twice",), "nested"), 2),
+    ]
+
+    def adversarial_store(self):
+        graph = TypedGraph(name="adversarial")
+        for uid in self.ADVERSARIAL_IDS:
+            graph.add_node(uid, "user")
+        graph.add_node(("attr", 0), "school")
+        graph.add_node("school|B", "school")
+        for uid in self.ADVERSARIAL_IDS:
+            graph.add_edge(uid, ("attr", 0))
+            graph.add_edge(uid, "school|B")
+        catalog = MetagraphCatalog(
+            [metapath("user", "school", "user")], anchor_type="user"
+        )
+        vectors, _ = build_vectors(graph, catalog)
+        return vectors
+
+    def test_codec_round_trips_every_id(self):
+        for node in self.ADVERSARIAL_IDS:
+            assert decode_node_id(encode_node_id(node)) == node
+
+    def test_codec_rejects_unsupported_ids(self):
+        with pytest.raises(SnapshotError, match="frozenset"):
+            encode_node_id(frozenset({"a"}))
+
+    def test_json_round_trip_with_adversarial_ids(self, tmp_path):
+        store = self.adversarial_store()
+        path = tmp_path / "vectors.json"
+        store.save(path)
+        restored = MetagraphVectors.load(path)
+        assert restored.nodes_with_counts() == store.nodes_with_counts()
+        for node in self.ADVERSARIAL_IDS:
+            assert restored.partners(node) == store.partners(node)
+            assert np.array_equal(
+                restored.node_vector(node), store.node_vector(node)
+            )
+        assert np.array_equal(
+            restored.pair_vector(("tuple", 3), (("nested", 1), "deep")),
+            store.pair_vector(("tuple", 3), (("nested", 1), "deep")),
+        )
+
+    def test_unsupported_id_rejected_at_save_time(self, tmp_path):
+        store = MetagraphVectors(1, anchor_type="user")
+        from repro.index.instance_index import MetagraphCounts
+
+        counts = MetagraphCounts(num_instances=1)
+        counts.node_counts[frozenset({"x"})] = 1
+        store.add_counts(0, counts)
+        with pytest.raises(SnapshotError, match="cannot be persisted"):
+            store.save(tmp_path / "vectors.json")
