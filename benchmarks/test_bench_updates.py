@@ -1,0 +1,141 @@
+"""Dynamic-update benchmarks: delta maintenance vs. full rebuild.
+
+The acceptance floor guards the point of :mod:`repro.index.delta`: a
+single-edge delta must beat rebuilding the index from scratch by
+>= 10x (``REPRO_UPDATE_SPEEDUP_FLOOR`` relaxes it on noisy shared
+runners, matching the offline/serving bench conventions).  Exactness is
+proven by the property suite in ``tests/index/test_delta.py``; here a
+cheap parity assertion rides along — after toggling edges off and back
+on, the maintained counts must equal the originals bit for bit.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.graph.typed_graph import TypedGraph
+from repro.index.delta import GraphDelta, apply_delta
+from repro.index.vectors import build_vectors
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.metagraph.metagraph import Metagraph, metapath
+
+NUM_USERS = 300
+GROUP_SIZE = 8
+MEMBERSHIPS = 3  # groups each user joins per attribute type
+SAMPLE_EDGES = 5  # distinct single-edge deltas measured
+
+
+def update_graph(seed: int = 0) -> TypedGraph:
+    """A serving-scale workload: users in overlapping typed groups."""
+    rng = random.Random(seed)
+    graph = TypedGraph(name="updates-bench")
+    users = [f"u{i:03d}" for i in range(NUM_USERS)]
+    for user in users:
+        graph.add_node(user, "user")
+    num_groups = NUM_USERS // GROUP_SIZE
+    for attr_type in ("school", "employer", "hobby"):
+        for g in range(num_groups):
+            graph.add_node(f"{attr_type}{g}", attr_type)
+        for user in users:
+            for g in rng.sample(range(num_groups), MEMBERSHIPS):
+                graph.add_edge(user, f"{attr_type}{g}")
+    return graph
+
+
+def update_catalog() -> MetagraphCatalog:
+    """Metapaths plus 4-node squares (the squares dominate match cost)."""
+    members = [
+        metapath("user", t, "user", name=f"P-{t}")
+        for t in ("school", "employer", "hobby")
+    ]
+    for a, b in (("school", "employer"), ("school", "hobby"), ("employer", "hobby")):
+        members.append(
+            Metagraph(
+                ["user", a, b, "user"],
+                [(0, 1), (0, 2), (3, 1), (3, 2)],
+                name=f"S-{a}-{b}",
+            )
+        )
+    return MetagraphCatalog(members, anchor_type="user")
+
+
+@pytest.fixture(scope="module")
+def update_workload():
+    """One timed full build plus the edges the deltas toggle."""
+    graph = update_graph()
+    catalog = update_catalog()
+    start = time.perf_counter()
+    vectors, index = build_vectors(graph, catalog)
+    rebuild_seconds = time.perf_counter() - start
+    rng = random.Random(1)
+    sample = rng.sample(sorted(graph.edges(), key=repr), SAMPLE_EDGES)
+    return {
+        "graph": graph,
+        "catalog": catalog,
+        "vectors": vectors,
+        "index": index,
+        "rebuild_seconds": rebuild_seconds,
+        "sample_edges": sample,
+    }
+
+
+def test_bench_single_edge_toggle(benchmark, update_workload):
+    """Benchmark one remove+re-add edge pair through delta maintenance."""
+    workload = update_workload
+    u, v = workload["sample_edges"][0]
+    toggle = GraphDelta().remove_edge(u, v).add_edge(u, v)
+    benchmark(
+        apply_delta,
+        workload["graph"],
+        workload["catalog"],
+        workload["vectors"],
+        toggle,
+        index=workload["index"],
+    )
+
+
+def test_single_edge_delta_speedup(update_workload):
+    """Acceptance floor: single-edge delta >= 10x faster than a rebuild.
+
+    Measures each direction of several remove/re-add toggles and takes
+    the *median* single-edit time, so one slow outlier cannot fail the
+    floor while one lucky edit cannot carry it either.
+    """
+    floor = float(os.environ.get("REPRO_UPDATE_SPEEDUP_FLOOR", "10"))
+    workload = update_workload
+    graph, catalog = workload["graph"], workload["catalog"]
+    vectors, index = workload["vectors"], workload["index"]
+    edit_seconds: list[float] = []
+    for u, v in workload["sample_edges"]:
+        for delta in (
+            GraphDelta().remove_edge(u, v),
+            GraphDelta().add_edge(u, v),
+        ):
+            start = time.perf_counter()
+            apply_delta(graph, catalog, vectors, delta, index=index)
+            edit_seconds.append(time.perf_counter() - start)
+    edit_seconds.sort()
+    median = edit_seconds[len(edit_seconds) // 2]
+    speedup = workload["rebuild_seconds"] / median
+    assert speedup >= floor, (
+        f"single-edge delta only {speedup:.1f}x faster than rebuild "
+        f"(floor {floor}x; rebuild {workload['rebuild_seconds']:.2f} s, "
+        f"median edit {median * 1e3:.1f} ms)"
+    )
+
+
+def test_toggled_counts_match_original(update_workload):
+    """Every toggle pair restored the graph, so counts must round-trip."""
+    workload = update_workload
+    fresh, fresh_index = build_vectors(workload["graph"], workload["catalog"])
+    vectors = workload["vectors"]
+    assert vectors._node == fresh._node
+    assert vectors._pair == fresh._pair
+    assert vectors.matched_ids == fresh.matched_ids
+    index = workload["index"]
+    for mg_id in fresh_index.matched_ids():
+        assert index.num_instances(mg_id) == fresh_index.num_instances(mg_id)

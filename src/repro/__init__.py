@@ -8,6 +8,7 @@ rank nodes by semantic proximity.  See README.md for a quickstart.
 """
 
 from repro.graph import GraphBuilder, GraphSchema, TypedGraph
+from repro.index import GraphDelta, GraphEdit
 from repro.metagraph import Metagraph, MetagraphCatalog, metapath
 from repro.search import SemanticProximitySearch
 
@@ -15,6 +16,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "GraphBuilder",
+    "GraphDelta",
+    "GraphEdit",
     "GraphSchema",
     "Metagraph",
     "MetagraphCatalog",

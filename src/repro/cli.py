@@ -8,6 +8,7 @@ Usage::
     python -m repro serve --quick --queries u1,u2 --k 5
     python -m repro index build --dataset linkedin --out idx/ --workers 4
     python -m repro index info idx/
+    python -m repro index update idx/ --dataset linkedin --edits edits.json
 
 ``--quick`` switches to the tiny preset (minutes); the default ``small``
 scale is the one EXPERIMENTS.md records.  ``serve`` runs the online
@@ -214,8 +215,8 @@ def build_index_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro index",
         description=(
-            "Build, persist and inspect offline index snapshots "
-            "(catalog + Eq. 1-2 counts + fitted classes)."
+            "Build, persist, inspect and incrementally update offline "
+            "index snapshots (catalog + Eq. 1-2 counts + fitted classes)."
         ),
     )
     actions = parser.add_subparsers(dest="action", required=True)
@@ -253,17 +254,174 @@ def build_index_parser() -> argparse.ArgumentParser:
         "info", help="verify a snapshot and print its manifest summary"
     )
     info.add_argument("path", help="snapshot directory")
+    update = actions.add_parser(
+        "update",
+        help="apply graph edits to a snapshot incrementally (no rebuild)",
+        description=(
+            "Replay the snapshot's recorded update log onto the base "
+            "dataset graph, apply the new edits with delta index "
+            "maintenance, and write the snapshot back with an extended "
+            "log and bumped graph fingerprint."
+        ),
+    )
+    update.add_argument("path", help="snapshot directory to update in place")
+    update.add_argument(
+        "--dataset",
+        choices=["linkedin", "facebook"],
+        default=None,
+        help="base dataset the snapshot was built from (default: the "
+        "dataset recorded in the snapshot manifest, else linkedin)",
+    )
+    update.add_argument(
+        "--scale",
+        choices=["tiny", "small", "medium"],
+        default=None,
+        help="dataset scale preset (default: the scale recorded in the "
+        "snapshot manifest, else tiny)",
+    )
+    group = update.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--edits",
+        help="JSON file with a list of edit records, e.g. "
+        '[{"op": "add_edge", "u": "u1", "v": "s0"}, ...]',
+    )
+    group.add_argument(
+        "--toggle-edges",
+        type=int,
+        metavar="N",
+        help="demo/bench mode: remove then re-add N existing edges",
+    )
+    update.add_argument(
+        "--seed", type=int, default=0, help="--toggle-edges sampling seed"
+    )
     return parser
 
 
+def run_index_update(args) -> int:
+    """The ``index update`` verb: delta-maintain a snapshot in place."""
+    import json
+    import random
+    import shutil
+    from pathlib import Path
+
+    from repro.datasets import load_dataset
+    from repro.exceptions import ReproError
+    from repro.index import (
+        GraphDelta,
+        apply_delta,
+        load_index,
+        read_manifest,
+        save_index,
+    )
+
+    try:
+        manifest = read_manifest(args.path)
+    except ReproError as exc:
+        print(f"[index] cannot update {args.path}: {exc}", file=sys.stderr)
+        return 1
+    # `index build` records its base dataset/scale in the manifest; the
+    # flags only need repeating when that provenance is absent
+    recorded = manifest.get("extra", {})
+    dataset_name = args.dataset or recorded.get("dataset") or "linkedin"
+    scale = args.scale or recorded.get("scale") or "tiny"
+    dataset = load_dataset(dataset_name, scale=scale)
+    graph = dataset.graph
+    try:
+        replayed = GraphDelta.from_json_list(manifest.get("update_log", []))
+        # reconstruct the graph the snapshot describes: base dataset
+        # graph + the snapshot's recorded update log
+        replayed.apply_to(graph)
+        loaded = load_index(args.path, graph=graph)
+    except ReproError as exc:
+        print(f"[index] cannot update {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if replayed:
+        print(f"[index] replayed {len(replayed)} logged edit(s) onto the base graph")
+    if args.edits is not None:
+        try:
+            docs = json.loads(Path(args.edits).read_text(encoding="utf-8"))
+            delta = GraphDelta.from_json_list(docs)
+        except (OSError, ValueError, ReproError) as exc:
+            print(f"[index] unreadable edits file {args.edits}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if not 1 <= args.toggle_edges <= graph.num_edges:
+            print(
+                f"--toggle-edges must be between 1 and the graph's "
+                f"{graph.num_edges} edges, got {args.toggle_edges}",
+                file=sys.stderr,
+            )
+            return 2
+        rng = random.Random(args.seed)
+        sample = rng.sample(sorted(graph.edges(), key=repr), args.toggle_edges)
+        delta = GraphDelta()
+        for u, v in sample:
+            delta.remove_edge(u, v)
+            delta.add_edge(u, v)
+    # snapshots saved without per-metagraph |I(M)| totals cannot have
+    # them patched (reconstruction would start every total at 0 and go
+    # negative on the first retirement); the vectors still update, and
+    # the rewritten snapshot stays totals-free like the original
+    instance_index = loaded.instance_index() if loaded.instance_totals else None
+    applied_log: list[dict] = []
+    start = time.perf_counter()
+    try:
+        stats = apply_delta(
+            graph,
+            loaded.catalog,
+            loaded.vectors,
+            delta,
+            index=instance_index,
+            on_edit=lambda edit: applied_log.append(edit.to_json_dict()),
+        )
+    except ReproError as exc:
+        print(f"[index] update failed: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    # write the new snapshot next to the old one and swap directories,
+    # so a crash mid-rewrite never leaves the only copy half-written
+    target = Path(args.path)
+    staging = target.with_name(target.name + ".updating")
+    backup = target.with_name(target.name + ".bak")
+    shutil.rmtree(staging, ignore_errors=True)
+    save_index(
+        staging,
+        loaded.vectors,
+        loaded.catalog,
+        graph=graph,
+        index=instance_index,
+        models=loaded.models,
+        extra=recorded or None,
+        update_log=manifest.get("update_log", []) + applied_log,
+    )
+    shutil.rmtree(backup, ignore_errors=True)
+    target.rename(backup)
+    staging.rename(target)
+    shutil.rmtree(backup)
+    print(
+        f"[index] applied {stats.edits_applied} edit(s) "
+        f"({stats.edits_noop} no-ops) in {elapsed * 1e3:.1f} ms: "
+        f"-{stats.instances_retired}/+{stats.instances_added} instances "
+        f"across {len(stats.metagraphs_touched)} metagraph(s)"
+    )
+    print(
+        f"[index] snapshot at {target} rewritten: update log now "
+        f"{len(manifest.get('update_log', [])) + len(applied_log)} edit(s), "
+        "graph fingerprint re-stamped"
+    )
+    return 0
+
+
 def run_index(argv: list[str]) -> int:
-    """The ``index`` subcommand family: build and inspect snapshots."""
+    """The ``index`` subcommand family: build, inspect, update snapshots."""
     from repro.datasets import load_dataset
     from repro.exceptions import SnapshotError
     from repro.index import IndexBuildConfig, build_index, load_index, save_index
     from repro.mining import MinerConfig, mine_catalog
 
     args = build_index_parser().parse_args(argv)
+    if args.action == "update":
+        return run_index_update(args)
     if args.action == "info":
         try:
             loaded = load_index(args.path)

@@ -84,6 +84,19 @@ class SnapshotError(IndexError_, ValueError):
     """A persisted index snapshot is missing, corrupt, or incompatible."""
 
 
+class StaleIndexError(IndexError_, RuntimeError):
+    """The graph mutated after the index was built, without a delta update.
+
+    Raised by serving paths instead of silently answering from counts
+    that no longer describe the graph; resolve by calling
+    ``apply_updates()`` with the edits, or ``prepare()`` to rebuild.
+    """
+
+
+class DeltaError(IndexError_, ValueError):
+    """An incremental index update is invalid or failed an invariant."""
+
+
 class StaleSnapshotError(SnapshotError):
     """A snapshot's fingerprints do not match the current graph/catalog."""
 

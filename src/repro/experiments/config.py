@@ -41,8 +41,11 @@ class ExperimentConfig:
             "facebook": (20, 60, 120),
         }
     )
-    # Fig. 11: how many metagraphs to time per size bucket
+    # Fig. 11: how many metagraphs to time per size bucket, and how many
+    # repeats per (engine, metagraph) timing — best-of-N suppresses
+    # scheduler noise so the engine comparison is stable
     fig11_per_size: int = 8
+    fig11_repeats: int = 3
     # Fig. 9: cap on metagraph pairs scored (None = all pairs)
     fig9_max_pairs: int | None = 20000
 

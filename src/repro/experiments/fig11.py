@@ -35,14 +35,27 @@ def _sample_by_size(catalog, per_size: int) -> dict[int, list[int]]:
     return {size: ids for size, ids in sorted(buckets.items()) if size >= 3}
 
 
-def time_engine(engine_name: str, graph, metagraph) -> tuple[float, int]:
-    """(seconds, |I(M)|) for one engine on one metagraph."""
+def time_engine(
+    engine_name: str, graph, metagraph, repeats: int = 1
+) -> tuple[float, int]:
+    """(best-of-``repeats`` seconds, |I(M)|) for one engine on one metagraph.
+
+    Wall-clock noise only ever *adds* time, so the minimum over repeats
+    is the most faithful estimate of an engine's cost.
+    """
     engine = ALL_ENGINES[engine_name]()
-    start = time.perf_counter()
-    count = sum(
-        1 for _ in deduplicate_instances(engine.find_embeddings(graph, metagraph))
-    )
-    return time.perf_counter() - start, count
+    best = float("inf")
+    count = 0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        count = sum(
+            1
+            for _ in deduplicate_instances(
+                engine.find_embeddings(graph, metagraph)
+            )
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, count
 
 
 def run_dataset(runner: OfflineRunner, dataset_name: str) -> list[dict]:
@@ -59,19 +72,28 @@ def run_dataset(runner: OfflineRunner, dataset_name: str) -> list[dict]:
             "#metagraphs": len(mg_ids),
         }
         counts: dict[str, list[int]] = {}
+        per_metagraph_ms: dict[str, list[float]] = {}
         for engine_name in ENGINE_ORDER:
-            total = 0.0
             counts[engine_name] = []
+            per_metagraph_ms[engine_name] = []
             for mg_id in mg_ids:
                 seconds, count = time_engine(
-                    engine_name, graph, phase.catalog[mg_id]
+                    engine_name,
+                    graph,
+                    phase.catalog[mg_id],
+                    repeats=config.fig11_repeats,
                 )
-                total += seconds
+                per_metagraph_ms[engine_name].append(1000 * seconds)
                 counts[engine_name].append(count)
-            row[f"{engine_name} (ms)"] = round(1000 * total / len(mg_ids), 2)
+            row[f"{engine_name} (ms)"] = round(
+                sum(per_metagraph_ms[engine_name]) / len(mg_ids), 2
+            )
         # engines must agree on |I(M)| — a cheap cross-check in the report
         reference = counts["QuickSI"]
         row["engines agree"] = all(c == reference for c in counts.values())
+        # raw per-metagraph timings (underscore keys are dropped from the
+        # rendered table) so acceptance checks can compare robust medians
+        row["_per_metagraph_ms"] = per_metagraph_ms
         rows.append(row)
     return rows
 
@@ -87,8 +109,12 @@ def run(config: ExperimentConfig, runner: OfflineRunner | None = None) -> list[d
 
 def main(config: ExperimentConfig, runner: OfflineRunner | None = None) -> str:
     """Render Fig. 11."""
+    rows = [
+        {k: v for k, v in row.items() if not k.startswith("_")}
+        for row in run(config, runner)
+    ]
     return format_table(
-        run(config, runner),
+        rows,
         title="Fig. 11: average matching time per metagraph "
         "(SymISO expected fastest; gap grows with |V_M|)",
     )

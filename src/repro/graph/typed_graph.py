@@ -11,6 +11,9 @@ implements this with:
 
 The class is deliberately minimal and append-only plus node/edge removal;
 mutation invalidates nothing because all indexes are maintained eagerly.
+Every *effective* mutation (no-ops excluded) bumps :attr:`TypedGraph.version`,
+which downstream artefacts (cached universes, metagraph indexes) compare
+against to detect that they were built on an older graph.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from repro.exceptions import (
     DuplicateNodeError,
     EdgeError,
     NodeNotFoundError,
+    SchemaError,
 )
 
 NodeId = Hashable
@@ -67,6 +71,17 @@ class TypedGraph:
         self._typed_adj: dict[NodeId, dict[str, set[NodeId]]] = {}
         self._nodes_by_type: dict[str, set[NodeId]] = defaultdict(set)
         self._num_edges = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every effective structure change.
+
+        No-op calls (re-adding an existing node/edge) leave it untouched,
+        so two equal versions of one graph object imply identical
+        structure.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -78,7 +93,9 @@ class TypedGraph:
         re-adding with a different type raises :class:`DuplicateNodeError`.
         """
         if not isinstance(node_type, str) or not node_type:
-            raise EdgeError(f"node type must be a non-empty string, got {node_type!r}")
+            raise SchemaError(
+                f"node type must be a non-empty string, got {node_type!r}"
+            )
         existing = self._types.get(node)
         if existing is not None:
             if existing != node_type:
@@ -88,6 +105,7 @@ class TypedGraph:
         self._adj[node] = set()
         self._typed_adj[node] = defaultdict(set)
         self._nodes_by_type[node_type].add(node)
+        self._version += 1
 
     def add_edge(self, u: NodeId, v: NodeId) -> None:
         """Add an undirected edge between two existing nodes.
@@ -106,6 +124,7 @@ class TypedGraph:
         self._typed_adj[u][self._types[v]].add(v)
         self._typed_adj[v][self._types[u]].add(u)
         self._num_edges += 1
+        self._version += 1
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove an undirected edge; raises :class:`EdgeError` if absent."""
@@ -115,9 +134,21 @@ class TypedGraph:
             raise EdgeError(f"edge ({u!r}, {v!r}) is not in the graph")
         self._adj[u].discard(v)
         self._adj[v].discard(u)
-        self._typed_adj[u][self._types[v]].discard(v)
-        self._typed_adj[v][self._types[u]].discard(u)
+        self._discard_typed(u, v)
+        self._discard_typed(v, u)
         self._num_edges -= 1
+        self._version += 1
+
+    def _discard_typed(self, node: NodeId, neighbor: NodeId) -> None:
+        """Drop ``neighbor`` from ``node``'s typed adjacency, pruning the
+        type bucket when it empties — an empty bucket would otherwise
+        surface a phantom neighbour type to the matchers' ordering
+        heuristics via :meth:`typed_adjacency`."""
+        neighbor_type = self._types[neighbor]
+        bucket = self._typed_adj[node][neighbor_type]
+        bucket.discard(neighbor)
+        if not bucket:
+            del self._typed_adj[node][neighbor_type]
 
     def remove_node(self, node: NodeId) -> None:
         """Remove a node and all its incident edges."""
@@ -131,6 +162,7 @@ class TypedGraph:
         self._nodes_by_type[node_type].discard(node)
         if not self._nodes_by_type[node_type]:
             del self._nodes_by_type[node_type]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries

@@ -1,6 +1,14 @@
 """Instance indexing, metagraph vectors (Eq. 1–2), and persistence."""
 
 from repro.index.compiled import CompiledVectors
+from repro.index.delta import (
+    DeltaStats,
+    GraphDelta,
+    GraphEdit,
+    affected_region,
+    apply_delta,
+    catalog_radius,
+)
 from repro.index.instance_index import (
     InstanceIndex,
     MetagraphCounts,
@@ -35,15 +43,21 @@ __all__ = [
     "FORMAT_VERSION",
     "TRANSFORMS",
     "CompiledVectors",
+    "DeltaStats",
+    "GraphDelta",
+    "GraphEdit",
     "IndexBuildConfig",
     "InstanceIndex",
     "LoadedIndex",
     "MetagraphCounts",
     "MetagraphVectors",
     "Transform",
+    "affected_region",
+    "apply_delta",
     "build_index",
     "build_vectors",
     "catalog_fingerprint",
+    "catalog_radius",
     "decode_node_id",
     "encode_node_id",
     "get_transform",

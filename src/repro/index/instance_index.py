@@ -19,10 +19,12 @@ involutive automorphism).
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro.exceptions import DeltaError
 from repro.graph.typed_graph import NodeId, TypedGraph
-from repro.matching.base import MatcherProtocol, deduplicate_instances
+from repro.matching.base import Instance, MatcherProtocol, deduplicate_instances
 from repro.matching.symiso import SymISOMatcher
 from repro.metagraph.metagraph import Metagraph
 from repro.metagraph.symmetry import anchor_symmetric_pairs
@@ -46,6 +48,41 @@ class MetagraphCounts:
     pair_counts: Counter = field(default_factory=Counter)
 
 
+def instance_anchor_pairs(
+    instance: Instance, sym_pairs: Sequence[tuple[int, int]]
+) -> set[Pair]:
+    """The distinct symmetric anchor pairs one instance realises.
+
+    Derived from the instance's witness embedding; invariant under the
+    witness choice because the symmetric pattern-node pairs are closed
+    under automorphisms.
+    """
+    emb = instance.embedding  # indexed by pattern node (0..n-1)
+    return {_pair_key(emb[u], emb[v]) for u, v in sym_pairs}
+
+
+def count_instances_into(
+    counts: MetagraphCounts,
+    instances: Iterable[Instance],
+    sym_pairs: Sequence[tuple[int, int]],
+) -> None:
+    """Fold a stream of instances into ``counts`` per Eq. 1–2."""
+    if not sym_pairs:
+        # No symmetric anchor pair: the metagraph cannot contribute to
+        # anchor-anchor proximity (Eq. 1 is empty) — only |I(M)| counts.
+        for _ in instances:
+            counts.num_instances += 1
+        return
+    for instance in instances:
+        counts.num_instances += 1
+        pairs_here = instance_anchor_pairs(instance, sym_pairs)
+        nodes_here = {n for pair in pairs_here for n in pair}
+        for pair in pairs_here:
+            counts.pair_counts[pair] += 1
+        for node in nodes_here:
+            counts.node_counts[node] += 1
+
+
 def match_and_count(
     graph: TypedGraph,
     metagraph: Metagraph,
@@ -60,25 +97,11 @@ def match_and_count(
     engine = matcher if matcher is not None else SymISOMatcher()
     sym_pairs = anchor_symmetric_pairs(metagraph, anchor_type)
     counts = MetagraphCounts()
-    if not sym_pairs:
-        # The metagraph has no symmetric anchor pair: it cannot
-        # contribute to anchor-anchor proximity (Eq. 1 is empty).
-        for _ in deduplicate_instances(engine.find_embeddings(graph, metagraph)):
-            counts.num_instances += 1
-        return counts
-    ordered = sorted(metagraph.nodes())
-    position = {u: i for i, u in enumerate(ordered)}
-    for instance in deduplicate_instances(engine.find_embeddings(graph, metagraph)):
-        counts.num_instances += 1
-        emb = instance.embedding  # indexed by sorted pattern node
-        pairs_here = {
-            _pair_key(emb[position[u]], emb[position[v]]) for u, v in sym_pairs
-        }
-        nodes_here = {n for pair in pairs_here for n in pair}
-        for pair in pairs_here:
-            counts.pair_counts[pair] += 1
-        for node in nodes_here:
-            counts.node_counts[node] += 1
+    count_instances_into(
+        counts,
+        deduplicate_instances(engine.find_embeddings(graph, metagraph)),
+        sym_pairs,
+    )
     return counts
 
 
@@ -100,6 +123,45 @@ class InstanceIndex:
         if not 0 <= mg_id < self.catalog_size:
             raise IndexError(f"metagraph id {mg_id} outside catalog of size {self.catalog_size}")
         self._counts[mg_id] = counts
+
+    def patch(
+        self, mg_id: int, retired: MetagraphCounts, added: MetagraphCounts
+    ) -> None:
+        """Apply a delta to a matched metagraph's counts in place.
+
+        Subtracts the contributions of ``retired`` instances and folds in
+        ``added`` ones, keeping the stored counters exactly what a fresh
+        :func:`match_and_count` on the mutated graph would produce
+        (zero entries are dropped; going negative means the delta is
+        wrong and raises :class:`~repro.exceptions.DeltaError`).
+        """
+        try:
+            counts = self._counts[mg_id]
+        except KeyError:
+            raise DeltaError(
+                f"metagraph id {mg_id} was never matched; cannot patch"
+            ) from None
+        counts.num_instances += added.num_instances - retired.num_instances
+        if counts.num_instances < 0:
+            raise DeltaError(
+                f"metagraph {mg_id}: retired more instances than existed"
+            )
+        for counter, plus, minus in (
+            (counts.node_counts, added.node_counts, retired.node_counts),
+            (counts.pair_counts, added.pair_counts, retired.pair_counts),
+        ):
+            for key, count in plus.items():
+                counter[key] += count
+            for key, count in minus.items():
+                remaining = counter[key] - count
+                if remaining < 0:
+                    raise DeltaError(
+                        f"metagraph {mg_id}: count for {key!r} went negative"
+                    )
+                if remaining:
+                    counter[key] = remaining
+                else:
+                    del counter[key]
 
     def matched_ids(self) -> frozenset[int]:
         """Ids whose instances have been computed."""

@@ -134,6 +134,7 @@ def save_index(
     index: InstanceIndex | None = None,
     models: dict[str, np.ndarray] | None = None,
     extra: dict | None = None,
+    update_log: list[dict] | None = None,
 ) -> Path:
     """Write a versioned snapshot directory; returns its path.
 
@@ -142,7 +143,11 @@ def save_index(
     detectable.  ``index`` contributes the per-metagraph ``|I(M)|``
     totals, ``models`` the fitted per-class weight vectors, and
     ``extra`` is free-form JSON provenance (dataset name, mining knobs,
-    worker count) surfaced by ``repro index info``.
+    worker count) surfaced by ``repro index info``.  ``update_log``
+    records the :class:`~repro.index.delta.GraphEdit` JSON documents
+    applied since the original build; together with the base graph it
+    reconstructs the (fingerprinted) graph this snapshot describes —
+    see ``repro index update``.
     """
     vectors.verify_catalog(catalog)
     target = Path(path)
@@ -223,6 +228,7 @@ def save_index(
         "nodes": [encode_node_id(node) for node in nodes],
         "models": model_names,
         "extra": extra or {},
+        "update_log": list(update_log or []),
         "stats": {
             "num_nodes": len(nodes),
             "num_pairs": len(pair_keys),

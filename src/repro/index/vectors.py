@@ -24,7 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import CatalogMismatchError, SnapshotError
+from repro.exceptions import CatalogMismatchError, DeltaError, SnapshotError
 from repro.graph.typed_graph import NodeId, TypedGraph
 from repro.index.compiled import CompiledVectors
 from repro.index.instance_index import (
@@ -112,6 +112,71 @@ class MetagraphVectors:
     def matched_ids(self) -> frozenset[int]:
         """Metagraph ids whose counts are present."""
         return frozenset(self._matched)
+
+    def patch_counts(
+        self, mg_id: int, retired: MetagraphCounts, added: MetagraphCounts
+    ) -> None:
+        """Apply an incremental delta to one metagraph's Eq. 1–2 counts.
+
+        The inverse-and-forward of :meth:`add_counts` for dynamic graphs
+        (:mod:`repro.index.delta`): ``retired`` contributions are
+        subtracted, ``added`` ones folded in, and the sparse store is
+        left bit-identical to a from-scratch rebuild on the mutated
+        graph — emptied rows/pairs disappear, partner links are kept
+        exact, and the dense caches plus the compiled CSR snapshot are
+        invalidated.
+        """
+        if mg_id not in self._matched:
+            raise CatalogMismatchError(
+                f"metagraph id {mg_id} has no counts to patch"
+            )
+        for node, count in added.node_counts.items():
+            row = self._node.setdefault(node, {})
+            row[mg_id] = row.get(mg_id, 0) + count
+        for node, count in retired.node_counts.items():
+            row = self._node.get(node)
+            remaining = (row or {}).get(mg_id, 0) - count
+            if remaining < 0:
+                raise DeltaError(
+                    f"metagraph {mg_id}: node count for {node!r} went negative"
+                )
+            if remaining:
+                row[mg_id] = remaining
+            else:
+                row.pop(mg_id, None)
+                if not row:
+                    del self._node[node]
+        for (x, y), count in added.pair_counts.items():
+            row = self._pair.setdefault((x, y), {})
+            row[mg_id] = row.get(mg_id, 0) + count
+            self._partners.setdefault(x, set()).add(y)
+            self._partners.setdefault(y, set()).add(x)
+        for (x, y), count in retired.pair_counts.items():
+            row = self._pair.get((x, y))
+            remaining = (row or {}).get(mg_id, 0) - count
+            if remaining < 0:
+                raise DeltaError(
+                    f"metagraph {mg_id}: pair count for {(x, y)!r} went negative"
+                )
+            if remaining:
+                row[mg_id] = remaining
+            else:
+                row.pop(mg_id, None)
+                if not row:
+                    del self._pair[(x, y)]
+                    self._drop_partner(x, y)
+                    self._drop_partner(y, x)
+        self._node_cache.clear()
+        self._pair_cache.clear()
+        self._compiled = None
+
+    def _drop_partner(self, x: NodeId, y: NodeId) -> None:
+        links = self._partners.get(x)
+        if links is None:
+            return
+        links.discard(y)
+        if not links:
+            del self._partners[x]
 
     # ------------------------------------------------------------------
     # queries

@@ -93,22 +93,30 @@ def estimated_cost_order(
     return order
 
 
-def rarest_type_order(graph: TypedGraph, metagraph: Metagraph) -> list[int]:
-    """Static connected order starting from the rarest-type node.
-
-    QuickSI-flavoured: the start node has the fewest candidate graph
-    nodes; ties and subsequent choices prefer rarer types, then higher
-    pattern degree (more constraints earlier).
-    """
-    n = metagraph.size
+def _rarity_key(graph: TypedGraph, metagraph: Metagraph):
+    """Preference for the next pattern node: rarest type, then higher
+    pattern degree (more constraints earlier), then node id."""
 
     def rarity(u: int) -> tuple[int, int, int]:
         return (graph.count_type(metagraph.node_type(u)), -metagraph.degree(u), u)
 
-    start = min(range(n), key=rarity)
+    return rarity
+
+
+def connected_order_from(
+    graph: TypedGraph, metagraph: Metagraph, start: int
+) -> list[int]:
+    """Grow a connected order from ``start``, rarest-type-first.
+
+    The shared skeleton of :func:`rarest_type_order` (which picks the
+    globally rarest start) and the pinned-root orders of
+    :func:`repro.matching.partition.rooted_order` (where the caller
+    dictates the start).
+    """
+    rarity = _rarity_key(graph, metagraph)
     order = [start]
     in_order = {start}
-    while len(order) < n:
+    while len(order) < metagraph.size:
         frontier = {
             v
             for u in order
@@ -119,6 +127,17 @@ def rarest_type_order(graph: TypedGraph, metagraph: Metagraph) -> list[int]:
         order.append(nxt)
         in_order.add(nxt)
     return order
+
+
+def rarest_type_order(graph: TypedGraph, metagraph: Metagraph) -> list[int]:
+    """Static connected order starting from the rarest-type node.
+
+    QuickSI-flavoured: the start node has the fewest candidate graph
+    nodes; ties and subsequent choices prefer rarer types, then higher
+    pattern degree (more constraints earlier).
+    """
+    start = min(range(metagraph.size), key=_rarity_key(graph, metagraph))
+    return connected_order_from(graph, metagraph, start)
 
 
 def random_connected_order(

@@ -25,16 +25,27 @@ snapshots the prepared index plus fitted classes, and ``from_index()``
 cold-starts an engine from a snapshot without mining or matching at
 all.  Builds parallelise over a process pool via
 :class:`~repro.index.parallel.IndexBuildConfig`.
+
+The graph may keep evolving after ``prepare()``:
+``apply_updates(delta)`` applies a batch of
+:class:`~repro.index.delta.GraphEdit` mutations and incrementally
+patches the Eq. 1–2 counts instead of rebuilding (bit-identical to a
+rebuild; see :mod:`repro.index.delta`).  Mutating the graph *directly*
+is detected via the graph's mutation counter: the anchor universe
+re-sorts itself, and serving raises
+:class:`~repro.exceptions.StaleIndexError` instead of silently
+answering from desynchronised counts.
 """
 
 from __future__ import annotations
 
 import warnings
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 
-from repro.exceptions import LearningError, SnapshotError
+from repro.exceptions import LearningError, SnapshotError, StaleIndexError
 from repro.graph.typed_graph import NodeId, TypedGraph
+from repro.index.delta import DeltaStats, GraphDelta, GraphEdit, apply_delta
 from repro.index.instance_index import InstanceIndex
 from repro.index.parallel import IndexBuildConfig, build_index
 from repro.index.persist import (
@@ -96,6 +107,14 @@ class SemanticProximitySearch:
         self.index: InstanceIndex | None = None
         self._models: dict[str, ProximityModel] = {}
         self._universe: SortedUniverse | None = None
+        self._universe_version: int | None = None
+        # graph.version the counts describe; None until prepared.  A
+        # direct graph mutation bumps graph.version past this, which
+        # serving detects instead of answering from stale counts.
+        self._index_graph_version: int | None = None
+        # GraphEdit JSON records applied via apply_updates() since the
+        # original build (persisted so snapshots stay reconstructible)
+        self._update_log: list[dict] = []
         # True when this engine's catalog came from its own miner_config
         # (snapshots then record the knobs so staleness is detectable)
         self._catalog_from_mining = False
@@ -179,6 +198,8 @@ class SemanticProximitySearch:
             self.vectors.compile()
         self._universe = None
         self._models.clear()
+        self._index_graph_version = self.graph.version
+        self._update_log = []
         if cache_dir is not None:
             self.save_index(cache_dir)
         return self
@@ -208,9 +229,15 @@ class SemanticProximitySearch:
         self._catalog_from_mining = (
             loaded.manifest.get("extra", {}).get("miner_config") is not None
         )
-        self.index = loaded.instance_index()
+        # a snapshot saved without per-metagraph |I(M)| totals cannot
+        # back an InstanceIndex: reconstruction would start every total
+        # at 0, so delta updates would drive them negative (or persist
+        # wrong totals as authoritative) — serve without one instead
+        self.index = loaded.instance_index() if loaded.instance_totals else None
         self._universe = None
         self._models.clear()
+        self._index_graph_version = self.graph.version
+        self._update_log = list(loaded.manifest.get("update_log", []))
         if self.compile_serving:
             self.vectors.compile()
         for name, weights in loaded.models.items():
@@ -231,8 +258,13 @@ class SemanticProximitySearch:
         the catalog was mined (rather than supplied), the mining knobs
         are recorded too, so ``prepare(cache_dir=...)`` can detect a
         snapshot mined under different knobs and rebuild.
+
+        A stale engine (graph mutated outside :meth:`apply_updates`)
+        refuses to save: the snapshot would stamp the mutated graph's
+        fingerprint onto pre-mutation counts, laundering the staleness
+        past :meth:`from_index`'s fingerprint check.
         """
-        catalog, vectors = self._require_prepared()
+        catalog, vectors = self._require_fresh()
         extra = (
             {"miner_config": self.miner_config.to_json_dict()}
             if self._catalog_from_mining
@@ -246,6 +278,7 @@ class SemanticProximitySearch:
             index=self.index,
             models={name: model.weights for name, model in self._models.items()},
             extra=extra,
+            update_log=self._update_log,
         )
 
     @classmethod
@@ -278,13 +311,18 @@ class SemanticProximitySearch:
     def universe(self) -> SortedUniverse:
         """The anchor universe sorted by repr, computed once and cached.
 
-        Invalidated by :meth:`prepare`; rebuild by calling ``prepare``
-        again if the graph gains anchor nodes.
+        Invalidated automatically whenever the graph mutates (tracked by
+        :attr:`TypedGraph.version`), so added or removed anchor nodes
+        are always reflected — no ``prepare()`` required.
         """
-        if self._universe is None:
+        if (
+            self._universe is None
+            or self._universe_version != self.graph.version
+        ):
             self._universe = SortedUniverse(
                 self.graph.nodes_of_type(self.anchor_type)
             )
+            self._universe_version = self.graph.version
         return self._universe
 
     def _require_prepared(self) -> tuple[MetagraphCatalog, MetagraphVectors]:
@@ -293,6 +331,64 @@ class SemanticProximitySearch:
                 "offline phase not run: call prepare() before fit()/query()"
             )
         return self.catalog, self.vectors
+
+    def _require_fresh(self) -> tuple[MetagraphCatalog, MetagraphVectors]:
+        """Like :meth:`_require_prepared`, but also reject stale counts.
+
+        The graph mutating outside :meth:`apply_updates` leaves the
+        Eq. 1–2 counts describing an older graph; serving from them
+        would silently return wrong rankings.
+        """
+        catalog, vectors = self._require_prepared()
+        if self._index_graph_version != self.graph.version:
+            raise StaleIndexError(
+                f"graph mutated since the index was built (version "
+                f"{self.graph.version} vs indexed "
+                f"{self._index_graph_version}); route mutations through "
+                "apply_updates(), or call prepare() to rebuild"
+            )
+        return catalog, vectors
+
+    # ------------------------------------------------------------------
+    # dynamic updates
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self, delta: GraphDelta | Iterable[GraphEdit]
+    ) -> DeltaStats:
+        """Apply graph edits and incrementally maintain the index.
+
+        Mutates the graph and patches the Eq. 1–2 counts, the instance
+        index, the compiled CSR snapshot and every fitted model's dot
+        products in place of a full ``prepare()`` rebuild; the result is
+        bit-identical to rebuilding on the mutated graph.  Fitted models
+        keep their trained weights (retrain when the semantics of a
+        class should track the new structure).
+        """
+        catalog, vectors = self._require_fresh()
+        if not isinstance(delta, GraphDelta):
+            delta = GraphDelta(delta)
+
+        def record(edit: GraphEdit) -> None:
+            # per-effective-edit checkpoint: a failing edit mid-batch
+            # leaves everything before it applied, versioned and logged
+            # — nothing after it touched, and no-ops never bloat the log
+            self._index_graph_version = self.graph.version
+            self._update_log.append(edit.to_json_dict())
+
+        try:
+            stats = apply_delta(
+                self.graph, catalog, vectors, delta,
+                index=self.index, on_edit=record,
+            )
+        finally:
+            if self.compile_serving:
+                # cached no-op when no edit touched the counts; models
+                # re-derive their dot products only against a new snapshot
+                compiled = vectors.compile()
+                for model in self._models.values():
+                    if model.compiled is not compiled:
+                        model.compile(compiled)
+        return stats
 
     # ------------------------------------------------------------------
     # learning
@@ -312,7 +408,7 @@ class SemanticProximitySearch:
         query) with optional ``queries`` (defaults to every labelled
         query) from which triplets are sampled.
         """
-        _catalog, vectors = self._require_prepared()
+        _catalog, vectors = self._require_fresh()
         if triplets is None:
             if labels is None:
                 raise LearningError("fit() needs labels or triplets")
@@ -355,7 +451,13 @@ class SemanticProximitySearch:
     def query(
         self, class_name: str, query: NodeId, k: int | None = 10
     ) -> list[tuple[NodeId, float]]:
-        """Rank anchor nodes by proximity to ``query`` for one class."""
+        """Rank anchor nodes by proximity to ``query`` for one class.
+
+        Raises :class:`~repro.exceptions.StaleIndexError` when the graph
+        mutated without a matching :meth:`apply_updates` — the counts no
+        longer describe the graph, so serving would be silently wrong.
+        """
+        self._require_fresh()
         model = self.model(class_name)
         return model.rank(query, universe=self.universe(), k=k)
 
@@ -372,19 +474,21 @@ class SemanticProximitySearch:
         sorted anchor universe — so each extra query costs only its own
         candidate slice.
         """
+        self._require_fresh()
         model = self.model(class_name)
         universe = self.universe()
         return [model.rank(q, universe=universe, k=k) for q in queries]
 
     def proximity(self, class_name: str, x: NodeId, y: NodeId) -> float:
         """pi(x, y) under one class's learned weights."""
+        self._require_fresh()
         return self.model(class_name).proximity(x, y)
 
     def explain(
         self, class_name: str, x: NodeId, y: NodeId, k: int = 5
     ) -> list[tuple[Metagraph, float]]:
         """Top contributing metagraphs for a pair, as (metagraph, share)."""
-        catalog, _vectors = self._require_prepared()
+        catalog, _vectors = self._require_fresh()
         return [
             (catalog[mg_id], contribution)
             for mg_id, contribution in self.model(class_name).explain(x, y, k=k)

@@ -164,3 +164,130 @@ class TestServe:
         out = capsys.readouterr().out
         assert "  u0 ->" in out and "  u1 ->" in out
         assert " u0  ->" not in out
+
+
+class TestIndexUpdate:
+    @pytest.fixture(scope="class")
+    def snapshot(self, tmp_path_factory):
+        from repro.cli import main
+
+        target = tmp_path_factory.mktemp("cli") / "snapshot"
+        assert (
+            main(["index", "build", "--dataset", "linkedin", "--out", str(target)])
+            == 0
+        )
+        return target
+
+    def test_toggle_edges_round_trip(self, snapshot, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["index", "update", str(snapshot), "--toggle-edges", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "applied 4 edit(s)" in out
+        # a second update replays the first one's log onto the base graph
+        assert (
+            main(
+                [
+                    "index", "update", str(snapshot),
+                    "--toggle-edges", "1", "--seed", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "replayed 4 logged edit(s)" in out
+        assert main(["index", "info", str(snapshot)]) == 0
+
+    def test_edits_file(self, snapshot, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.datasets import load_dataset
+
+        graph = load_dataset("linkedin", scale="tiny").graph
+        u, v = next(iter(graph.edges()))
+        edits = [
+            {"op": "remove_edge", "u": u, "v": v},
+            {"op": "add_edge", "u": u, "v": v},
+        ]
+        edits_file = tmp_path / "edits.json"
+        edits_file.write_text(json.dumps(edits), encoding="utf-8")
+        assert (
+            main(["index", "update", str(snapshot), "--edits", str(edits_file)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "applied 2 edit(s)" in out
+
+    def test_toggle_edges_out_of_range_rejected(self, snapshot, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["index", "update", str(snapshot), "--toggle-edges", "0"]) == 2
+        )
+        assert "--toggle-edges must be between" in capsys.readouterr().err
+        assert (
+            main(
+                ["index", "update", str(snapshot), "--toggle-edges", "999999"]
+            )
+            == 2
+        )
+
+    def test_update_leaves_no_staging_dirs(self, snapshot):
+        from repro.cli import main
+
+        assert (
+            main(["index", "update", str(snapshot), "--toggle-edges", "1"]) == 0
+        )
+        assert not snapshot.with_name(snapshot.name + ".updating").exists()
+        assert not snapshot.with_name(snapshot.name + ".bak").exists()
+
+    def test_unreadable_edits_file_rejected(self, snapshot, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        assert (
+            main(["index", "update", str(snapshot), "--edits", str(bad)]) == 2
+        )
+        assert "unreadable edits file" in capsys.readouterr().err
+
+    def test_update_snapshot_without_instance_totals(self, tmp_path, capsys):
+        # a snapshot saved with index=None has no |I(M)| totals; the
+        # update must patch the vectors and keep the snapshot totals-free
+        # instead of driving reconstructed zero totals negative
+        from repro.cli import main
+        from repro.datasets import load_dataset
+        from repro.index import save_index
+        from repro.index.vectors import build_vectors
+        from repro.mining import MinerConfig, mine_catalog
+
+        ds = load_dataset("linkedin", scale="tiny")
+        catalog = mine_catalog(
+            ds.graph,
+            MinerConfig(max_nodes=3, min_support=3),
+            anchor_type=ds.anchor_type,
+        )
+        vectors, _index = build_vectors(ds.graph, catalog)
+        target = tmp_path / "no-totals"
+        save_index(target, vectors, catalog, graph=ds.graph)
+        assert (
+            main(["index", "update", str(target), "--toggle-edges", "1"]) == 0
+        )
+        assert "applied 2 edit(s)" in capsys.readouterr().out
+
+    def test_update_missing_snapshot_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "index", "update", str(tmp_path / "nope"),
+                    "--toggle-edges", "1",
+                ]
+            )
+            == 1
+        )
+        assert "cannot update" in capsys.readouterr().err

@@ -6,6 +6,7 @@ from repro.exceptions import (
     DuplicateNodeError,
     EdgeError,
     NodeNotFoundError,
+    SchemaError,
 )
 from repro.graph.typed_graph import TypedGraph, edge_key
 
@@ -53,8 +54,20 @@ class TestConstruction:
 
     def test_empty_type_rejected(self):
         g = TypedGraph()
-        with pytest.raises(EdgeError):
+        with pytest.raises(SchemaError):
             g.add_node("x", "")
+
+    def test_non_string_type_rejected(self):
+        g = TypedGraph()
+        with pytest.raises(SchemaError):
+            g.add_node("x", 7)
+
+    def test_invalid_type_is_not_an_edge_error(self):
+        # a node-schema problem must not masquerade as an edge problem
+        g = TypedGraph()
+        with pytest.raises(SchemaError) as excinfo:
+            g.add_node("x", None)
+        assert not isinstance(excinfo.value, EdgeError)
 
 
 class TestQueries:
@@ -126,6 +139,73 @@ class TestMutation:
     def test_remove_missing_node_raises(self, small):
         with pytest.raises(NodeNotFoundError):
             small.remove_node("nope")
+
+    def test_remove_edge_prunes_empty_type_bucket(self, small):
+        small.remove_edge("a", "s")
+        small.remove_edge("b", "s")
+        # no phantom neighbour types once the last typed neighbour is gone
+        assert "user" not in small.typed_adjacency("s")
+        assert "school" not in small.typed_adjacency("a")
+        assert small.neighbors_of_type("s", "user") == frozenset()
+
+    def test_remove_edge_keeps_nonempty_type_bucket(self, small):
+        small.remove_edge("a", "s")
+        assert small.typed_adjacency("s")["user"] == {"b"}
+
+    def test_remove_node_prunes_neighbor_buckets(self, small):
+        small.remove_node("s")
+        assert "school" not in small.typed_adjacency("a")
+        assert "school" not in small.typed_adjacency("b")
+
+    def test_mixed_type_edge_key_ordering_under_removal(self):
+        # node ids of mixed, non-comparable Python types still remove
+        # cleanly: the canonical edge key is repr-ordered either way
+        g = TypedGraph()
+        g.add_node(("u", 1), "user")
+        g.add_node("s0", "school")
+        g.add_edge("s0", ("u", 1))
+        assert edge_key(("u", 1), "s0") == edge_key("s0", ("u", 1))
+        g.remove_edge(("u", 1), "s0")
+        assert g.num_edges == 0
+        assert "user" not in g.typed_adjacency("s0")
+        assert list(g.edges()) == []
+
+
+class TestVersionCounter:
+    def test_new_graph_starts_at_zero(self):
+        assert TypedGraph().version == 0
+
+    def test_every_effective_mutation_bumps(self, small):
+        version = small.version
+        small.add_node("c", "user")
+        assert small.version == version + 1
+        small.add_edge("c", "s")
+        assert small.version == version + 2
+        small.remove_edge("c", "s")
+        assert small.version == version + 3
+        small.remove_node("c")
+        assert small.version == version + 4
+
+    def test_noop_mutations_do_not_bump(self, small):
+        version = small.version
+        small.add_node("a", "user")  # re-add, same type
+        small.add_edge("a", "s")  # edge already present
+        assert small.version == version
+
+    def test_failed_mutations_do_not_bump(self, small):
+        version = small.version
+        with pytest.raises(EdgeError):
+            small.add_edge("a", "a")
+        with pytest.raises(NodeNotFoundError):
+            small.remove_node("ghost")
+        with pytest.raises(SchemaError):
+            small.add_node("x", "")
+        assert small.version == version
+
+    def test_remove_node_with_edges_bumps_per_edge_and_node(self, small):
+        version = small.version
+        small.remove_node("s")  # cascades through two edge removals
+        assert small.version == version + 3
 
 
 class TestDerived:

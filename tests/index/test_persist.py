@@ -80,6 +80,30 @@ class TestRoundTrip:
         assert len(loaded.catalog) == len(catalog)
         assert [m.name for m in loaded.catalog] == [m.name for m in catalog]
 
+    def test_update_log_recorded_and_restored(self, offline, tmp_path):
+        graph, catalog, vectors, index = offline
+        log = [
+            {"op": "remove_edge", "u": "Kate", "v": "Music"},
+            {"op": "add_node", "u": "Mia", "node_type": "user"},
+        ]
+        target = save_index(
+            tmp_path / "with-log", vectors, catalog, graph=graph,
+            index=index, update_log=log,
+        )
+        loaded = load_index(target, graph=graph)
+        assert loaded.manifest["update_log"] == log
+        # the log is part of the digested manifest core: tampering trips
+        manifest_path = target / MANIFEST_FILE
+        doc = json.loads(manifest_path.read_text(encoding="utf-8"))
+        doc["update_log"] = []
+        manifest_path.write_text(json.dumps(doc), encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            load_index(target)
+
+    def test_update_log_defaults_empty(self, snapshot_dir):
+        loaded = load_index(snapshot_dir)
+        assert loaded.manifest["update_log"] == []
+
     def test_load_without_graph_skips_fingerprint_check(self, snapshot_dir):
         assert load_index(snapshot_dir).vectors.matched_ids
 

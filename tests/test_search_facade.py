@@ -4,7 +4,9 @@ import pytest
 
 from repro import SemanticProximitySearch
 from repro.datasets.toy import toy_dataset, toy_metagraphs
-from repro.exceptions import LearningError
+from repro.exceptions import LearningError, StaleIndexError
+from repro.index.delta import GraphDelta
+from repro.index.vectors import build_vectors
 from repro.learning.trainer import TrainerConfig
 from repro.metagraph.catalog import MetagraphCatalog
 from repro.mining import MinerConfig
@@ -144,3 +146,174 @@ class TestCompiledServing:
         )
         assert model.compiled is None
         assert spx.query("family", "Bob", k=3)  # scalar path still serves
+
+
+@pytest.fixture
+def fresh_engine():
+    """A function-scoped engine whose graph the test may mutate."""
+    ds = toy_dataset()
+    spx = SemanticProximitySearch(
+        ds.graph,
+        trainer_config=TrainerConfig(restarts=2, max_iterations=300, seed=0),
+    )
+    catalog = MetagraphCatalog(toy_metagraphs().values(), anchor_type="user")
+    spx.prepare(catalog=catalog)
+    return spx, ds
+
+
+class TestDynamicUpdates:
+    def test_apply_updates_matches_rebuild(self, fresh_engine):
+        spx, _ds = fresh_engine
+        delta = (
+            GraphDelta()
+            .add_node("Mia", "user")
+            .add_edge("Mia", "College A")
+            .add_edge("Mia", "Physics")
+            .remove_edge("Kate", "Music")
+        )
+        stats = spx.apply_updates(delta)
+        assert stats.edits_applied == 4
+        fresh, _idx = build_vectors(spx.graph, spx.catalog)
+        assert spx.vectors._node == fresh._node
+        assert spx.vectors._pair == fresh._pair
+
+    def test_updates_change_rankings(self, fresh_engine):
+        spx, ds = fresh_engine
+        spx.fit("classmates", labels=ds.class_labels("classmates"), num_examples=40)
+        before = dict(spx.query("classmates", "Bob", k=None))
+        # Mia joins Bob's school and major: she must start scoring > 0
+        spx.apply_updates(
+            GraphDelta()
+            .add_node("Mia", "user")
+            .add_edge("Mia", "College A")
+            .add_edge("Mia", "Physics")
+        )
+        after = dict(spx.query("classmates", "Bob", k=None))
+        assert "Mia" not in before
+        assert after["Mia"] > 0
+
+    def test_compiled_and_scalar_agree_after_updates(self, fresh_engine):
+        spx, ds = fresh_engine
+        spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        spx.apply_updates(GraphDelta().remove_edge("Kate", "Music"))
+        model = spx.model("family")
+        compiled = model.rank("Bob", universe=spx.universe(), k=5)
+        scalar = model._rank_scalar("Bob", spx.universe(), 5)
+        assert compiled == scalar
+
+    def test_universe_tracks_anchor_mutations(self, fresh_engine):
+        spx, _ds = fresh_engine
+        assert "Mia" not in spx.universe()
+        spx.apply_updates(GraphDelta().add_node("Mia", "user"))
+        assert "Mia" in spx.universe()
+        spx.apply_updates(GraphDelta().remove_node("Mia"))
+        assert "Mia" not in spx.universe()
+
+    def test_universe_invalidated_by_direct_mutation(self, fresh_engine):
+        # the universe is correctness-critical even without an index: it
+        # re-sorts itself off the graph version, no prepare() needed
+        spx, _ds = fresh_engine
+        spx.universe()
+        spx.graph.add_node("Zoe", "user")
+        assert "Zoe" in spx.universe()
+
+    def test_direct_mutation_makes_query_raise(self, fresh_engine):
+        spx, ds = fresh_engine
+        spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        spx.graph.remove_edge("Kate", "Music")
+        with pytest.raises(StaleIndexError):
+            spx.query("family", "Bob")
+        with pytest.raises(StaleIndexError):
+            spx.query_many("family", ["Bob"])
+        with pytest.raises(StaleIndexError):
+            spx.proximity("family", "Bob", "Alice")
+
+    def test_prepare_clears_staleness(self, fresh_engine):
+        spx, ds = fresh_engine
+        spx.graph.remove_edge("Kate", "Music")
+        catalog = MetagraphCatalog(toy_metagraphs().values(), anchor_type="user")
+        spx.prepare(catalog=catalog)
+        spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        assert spx.query("family", "Bob", k=3)
+
+    def test_apply_updates_after_direct_mutation_rejected(self, fresh_engine):
+        spx, _ds = fresh_engine
+        spx.graph.remove_edge("Kate", "Music")
+        with pytest.raises(StaleIndexError):
+            spx.apply_updates(GraphDelta().add_node("Mia", "user"))
+
+    def test_save_index_refuses_stale_engine(self, fresh_engine, tmp_path):
+        # saving would stamp the mutated graph's fingerprint onto
+        # pre-mutation counts, laundering staleness past from_index
+        spx, _ds = fresh_engine
+        spx.graph.remove_edge("Kate", "Music")
+        with pytest.raises(StaleIndexError):
+            spx.save_index(tmp_path / "stale-snap")
+
+    def test_apply_updates_requires_prepare(self):
+        ds = toy_dataset()
+        spx = SemanticProximitySearch(ds.graph)
+        with pytest.raises(LearningError):
+            spx.apply_updates(GraphDelta().add_node("Mia", "user"))
+
+    def test_noop_delta_keeps_compiled_snapshot(self, fresh_engine):
+        spx, _ds = fresh_engine
+        compiled = spx.vectors.compile()
+        stats = spx.apply_updates(GraphDelta().add_edge("Kate", "Music"))
+        assert stats.edits_noop == 1
+        assert spx.vectors.compile() is compiled
+
+    def test_failed_edit_mid_batch_keeps_engine_consistent(self, fresh_engine):
+        spx, _ds = fresh_engine
+        from repro.exceptions import NodeNotFoundError
+
+        delta = (
+            GraphDelta()
+            .remove_edge("Kate", "Music")  # applies
+            .remove_node("ghost")  # raises
+            .remove_edge("Alice", "Music")  # never reached
+        )
+        with pytest.raises(NodeNotFoundError):
+            spx.apply_updates(delta)
+        # the applied prefix is versioned and logged; serving still works
+        assert not spx.graph.has_edge("Kate", "Music")
+        assert spx.graph.has_edge("Alice", "Music")
+        assert len(spx._update_log) == 1
+        fresh, _idx = build_vectors(spx.graph, spx.catalog)
+        assert spx.vectors._pair == fresh._pair
+
+    def test_updates_on_totals_free_snapshot(self, fresh_engine, tmp_path):
+        # a manually-saved snapshot without |I(M)| totals must restore to
+        # an engine whose updates patch the vectors, not a zero-totals
+        # index that the first retirement would drive negative
+        from repro.index import save_index
+
+        spx, _ds = fresh_engine
+        target = tmp_path / "no-totals"
+        save_index(target, spx.vectors, spx.catalog, graph=spx.graph)
+        # a structural copy fingerprints identically but mutates
+        # independently of spx's graph
+        twin = spx.graph.copy()
+        restored = SemanticProximitySearch.from_index(target, twin)
+        assert restored.index is None
+        restored.apply_updates(GraphDelta().remove_edge("Kate", "Music"))
+        spx.apply_updates(GraphDelta().remove_edge("Kate", "Music"))
+        assert restored.vectors._pair == spx.vectors._pair
+        # re-saving keeps the snapshot totals-free rather than stamping
+        # deltas as authoritative totals
+        restored.save_index(target)
+        assert SemanticProximitySearch.from_index(target, twin).index is None
+
+    def test_update_log_survives_snapshot_roundtrip(self, fresh_engine, tmp_path):
+        spx, ds = fresh_engine
+        spx.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        spx.apply_updates(
+            GraphDelta().add_node("Mia", "user").add_edge("Mia", "College A")
+        )
+        target = tmp_path / "snapshot"
+        spx.save_index(target)
+        restored = SemanticProximitySearch.from_index(target, spx.graph)
+        assert restored._update_log == spx._update_log
+        assert restored.query("family", "Bob", k=3) == spx.query(
+            "family", "Bob", k=3
+        )
