@@ -1,0 +1,250 @@
+"""Integer-CSR view of a :class:`TypedGraph` for the compiled matcher.
+
+The matching engines in :mod:`repro.matching` spend their time in
+per-candidate Python work: hashing arbitrary (string/tuple) node ids
+into dict-of-set adjacency, one candidate at a time.  This module
+re-lays the same graph into flat numpy arrays so the compiled engine
+(:mod:`repro.matching.compiled`) can do that work on whole candidate
+*arrays* instead:
+
+- nodes get dense ``int32`` ids **partitioned by type** (types in
+  sorted order, nodes within a type sorted by ``repr`` — deterministic
+  under hash randomisation), so "all nodes of type t" is a contiguous
+  id range;
+- adjacency is CSR (``indptr``/``indices``) with each row sorted
+  ascending.  Because ids are partitioned by type, a sorted row is also
+  grouped by type, and ``type_ptr`` records the per-row block
+  boundaries: the typed adjacency of any node is an O(1) array slice;
+- ``profiles`` holds each node's per-type neighbour counts — the
+  neighbourhood-profile matrix that turns TurboISO's per-node candidate
+  filter into one vectorised comparison;
+- per-type node and edge totals back the estimated-instance-count
+  matching order without an O(|E|) rescan per pattern.
+
+:func:`csr_view` caches the view on the graph object and rebuilds it
+when :attr:`TypedGraph.version` moves, so the offline build pays one
+O(V + E) layout pass per graph version however many patterns it
+matches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.graph.typed_graph import NodeId, TypedGraph
+
+_CACHE_ATTR = "_csr_view_cache"
+
+
+class CSRGraph:
+    """Immutable integer-CSR snapshot of one :class:`TypedGraph` version.
+
+    Build with :meth:`from_graph` (or the cached :func:`csr_view`).
+    The arrays are documented in the module docstring; node ids decode
+    through :attr:`node_ids` and encode through :attr:`id_of` (rebuilt
+    lazily after unpickling, so shipping a snapshot to a worker process
+    moves only the compact arrays).
+    """
+
+    def __init__(
+        self,
+        *,
+        version: int,
+        type_names: tuple[str, ...],
+        type_start: np.ndarray,
+        node_ids: tuple[NodeId, ...],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        type_ptr: np.ndarray,
+        profiles: np.ndarray,
+        edge_type_counts: np.ndarray,
+    ):
+        self.version = version
+        self.type_names = type_names
+        self.type_start = type_start
+        self.node_ids = node_ids
+        self.indptr = indptr
+        self.indices = indices
+        self.type_ptr = type_ptr
+        self.profiles = profiles
+        self.edge_type_counts = edge_type_counts
+        self._type_index = {name: i for i, name in enumerate(type_names)}
+        self._id_of: dict[NodeId, int] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: TypedGraph) -> "CSRGraph":
+        """Lay a graph out into CSR arrays (one pass over nodes + edges)."""
+        type_names = tuple(sorted(graph.types))
+        node_ids: list[NodeId] = []
+        starts = [0]
+        for name in type_names:
+            node_ids.extend(sorted(graph.nodes_of_type(name), key=repr))
+            starts.append(len(node_ids))
+        n = len(node_ids)
+        num_types = len(type_names)
+        type_start = np.asarray(starts, dtype=np.int64)
+        id_of = {node: i for i, node in enumerate(node_ids)}
+
+        heads = np.empty(graph.num_edges, dtype=np.int64)
+        tails = np.empty(graph.num_edges, dtype=np.int64)
+        for k, (u, v) in enumerate(graph.edges()):
+            heads[k] = id_of[u]
+            tails[k] = id_of[v]
+        src = np.concatenate([heads, tails])
+        dst = np.concatenate([tails, heads])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        indices = dst.astype(np.int32)
+
+        type_of = np.empty(max(n, 1), dtype=np.int64)[:n]
+        for code in range(num_types):
+            type_of[type_start[code] : type_start[code + 1]] = code
+        profiles = np.zeros((n, num_types), dtype=np.int64)
+        if indices.size:
+            row_of = np.repeat(np.arange(n), np.diff(indptr))
+            np.add.at(profiles, (row_of, type_of[indices]), 1)
+        type_ptr = np.empty((n, num_types + 1), dtype=np.int64)
+        type_ptr[:, 0] = indptr[:-1]
+        np.cumsum(profiles, axis=1, out=type_ptr[:, 1:])
+        type_ptr[:, 1:] += indptr[:-1, None]
+
+        edge_type_counts = np.zeros((num_types, num_types), dtype=np.int64)
+        if heads.size:
+            a = np.minimum(type_of[heads], type_of[tails])
+            b = np.maximum(type_of[heads], type_of[tails])
+            np.add.at(edge_type_counts, (a, b), 1)
+
+        built = cls(
+            version=graph.version,
+            type_names=type_names,
+            type_start=type_start,
+            node_ids=tuple(node_ids),
+            indptr=indptr,
+            indices=indices,
+            type_ptr=type_ptr,
+            profiles=profiles,
+            edge_type_counts=edge_type_counts,
+        )
+        built._id_of = id_of
+        return built
+
+    # ------------------------------------------------------------------
+    # pickling: ship arrays, rebuild the id dict lazily on the far side
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_id_of"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._type_index = {name: i for i, name in enumerate(self.type_names)}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes |V|."""
+        return len(self.node_ids)
+
+    @property
+    def num_types(self) -> int:
+        """Number of node types |T|."""
+        return len(self.type_names)
+
+    @property
+    def id_of(self) -> dict[NodeId, int]:
+        """Original node id -> dense int id (lazily rebuilt after pickling)."""
+        if self._id_of is None:
+            self._id_of = {node: i for i, node in enumerate(self.node_ids)}
+        return self._id_of
+
+    def type_id(self, name: str) -> int | None:
+        """Dense type code for a type name (None when absent)."""
+        return self._type_index.get(name)
+
+    def type_range(self, code: int) -> tuple[int, int]:
+        """Dense-id half-open range [lo, hi) of the nodes of one type."""
+        return int(self.type_start[code]), int(self.type_start[code + 1])
+
+    def type_count(self, code: int) -> int:
+        """Number of nodes of one type."""
+        lo, hi = self.type_range(code)
+        return hi - lo
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted dense-id neighbour row of ``node`` (a view, not a copy)."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def typed_neighbors(self, node: int, code: int) -> np.ndarray:
+        """Sorted neighbours of ``node`` with type ``code`` (O(1) slice)."""
+        return self.indices[self.type_ptr[node, code] : self.type_ptr[node, code + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the undirected edge (u, v) exists (binary search)."""
+        row = self.neighbors(u)
+        k = int(np.searchsorted(row, v))
+        return k < row.size and int(row[k]) == v
+
+    def encode(self, nodes: Iterable[NodeId]) -> np.ndarray:
+        """Sorted dense-id array for the given original node ids.
+
+        Ids absent from the graph are silently dropped — callers pass
+        candidate restrictions (regions, pools) that may mention nodes
+        removed since they were computed.
+        """
+        id_of = self.id_of
+        kept = [id_of[node] for node in nodes if node in id_of]
+        out = np.asarray(sorted(kept), dtype=self.indices.dtype)
+        return out
+
+    def cardinalities(self) -> "CSRCardinalities":
+        """Type statistics compatible with the matching-order heuristics."""
+        return CSRCardinalities(self)
+
+
+class CSRCardinalities:
+    """|I(t)| / |I(<t1, t2>)| statistics answered from the CSR arrays.
+
+    Duck-typed drop-in for
+    :class:`repro.matching.ordering.GraphCardinalities`, but O(1) to
+    construct — the per-type totals were accumulated during the CSR
+    layout pass instead of rescanning every edge per pattern.
+    """
+
+    def __init__(self, csr: CSRGraph):
+        self._csr = csr
+
+    def nodes_of(self, node_type: str) -> int:
+        code = self._csr.type_id(node_type)
+        return 0 if code is None else self._csr.type_count(code)
+
+    def edges_of(self, type_a: str, type_b: str) -> int:
+        csr = self._csr
+        a, b = csr.type_id(type_a), csr.type_id(type_b)
+        if a is None or b is None:
+            return 0
+        return int(csr.edge_type_counts[min(a, b), max(a, b)])
+
+
+def csr_view(graph: TypedGraph) -> CSRGraph:
+    """The graph's CSR view, cached on the graph object.
+
+    Rebuilt when (and only when) :attr:`TypedGraph.version` moved since
+    the cached view was laid out, so mutation via ``apply_updates`` or
+    direct graph edits can never serve stale adjacency.
+    """
+    cached: CSRGraph | None = getattr(graph, _CACHE_ATTR, None)
+    if cached is None or cached.version != graph.version:
+        cached = CSRGraph.from_graph(graph)
+        setattr(graph, _CACHE_ATTR, cached)
+    return cached

@@ -312,6 +312,14 @@ class TypedGraph:
             dup.add_edge(u, v)
         return dup
 
+    def __getstate__(self) -> dict:
+        # the cached CSR view (attached by repro.graph.csr.csr_view) is
+        # derived state: shipping it alongside the graph would double the
+        # pickle the parallel builder sends to every worker
+        state = dict(self.__dict__)
+        state.pop("_csr_view_cache", None)
+        return state
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TypedGraph):
             return NotImplemented

@@ -12,12 +12,20 @@ mutation.  This module keeps the Eq. 1–2 counts exact under edits
    those endpoints; :func:`affected_region` computes that ball once per
    edit.
 2. **Localized re-matching** — instead of re-running matching over the
-   whole graph, :func:`repro.matching.partition.pinned_embeddings`
-   enumerates only embeddings that pin the edited endpoints onto
-   compatible pattern nodes, restricted to the affected region.  For an
-   edge edit the two endpoints must map onto *adjacent* pattern nodes
-   when the edge is present and non-adjacent ones when it is absent,
-   which cuts the pin pairs to a handful per pattern.
+   whole graph,
+   :func:`repro.matching.compiled.compiled_pinned_embeddings` (the
+   compiled kernel with pins as singleton candidate arrays and the
+   affected region as per-type candidate masks) enumerates only
+   embeddings that pin the edited endpoints onto compatible pattern
+   nodes, restricted to the affected region.  For an edge edit the two
+   endpoints must map onto *adjacent* pattern nodes when the edge is
+   present and non-adjacent ones when it is absent, which cuts the pin
+   pairs to a handful per pattern.  The compiled kernel's CSR view is
+   relaid once per graph version, so one edit pays at most one O(V+E)
+   layout pass amortised over the whole catalog's pre- *and* the next
+   edit's post-enumeration — cheap next to matching, but on graphs
+   where a relayout would dominate the localized search, patching the
+   CSR arrays incrementally is the obvious next step.
 3. **Count patching** — retired instances are enumerated on the
    pre-edit graph and subtracted, new ones on the post-edit graph and
    folded in (:meth:`MetagraphVectors.patch_counts`,
@@ -52,7 +60,7 @@ from repro.index.vectors import (
     encode_node_id,
 )
 from repro.matching.base import Instance, deduplicate_instances
-from repro.matching.partition import pinned_embeddings
+from repro.matching.compiled import compiled_pinned_embeddings as pinned_embeddings
 from repro.metagraph.catalog import MetagraphCatalog
 from repro.metagraph.metagraph import Metagraph
 from repro.metagraph.symmetry import anchor_symmetric_pairs

@@ -22,10 +22,13 @@ from collections import Counter
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.exceptions import DeltaError
+from repro.graph.csr import CSRGraph
 from repro.graph.typed_graph import NodeId, TypedGraph
 from repro.matching.base import Instance, MatcherProtocol, deduplicate_instances
-from repro.matching.symiso import SymISOMatcher
+from repro.matching.compiled import CompiledMatcher, compiled_embedding_matrix
 from repro.metagraph.metagraph import Metagraph
 from repro.metagraph.symmetry import anchor_symmetric_pairs
 
@@ -83,6 +86,75 @@ def count_instances_into(
             counts.node_counts[node] += 1
 
 
+def compiled_match_and_count(
+    csr: CSRGraph, metagraph: Metagraph, anchor_type: str = "user"
+) -> MetagraphCounts:
+    """Eq. 1–2 counts straight from the compiled kernel's integer arrays.
+
+    The whole per-embedding Python pipeline (dict embeddings →
+    ``Instance`` objects → Counter updates keyed on arbitrary node ids)
+    collapses into array ops: instances deduplicate as sorted integer
+    rows under one ``np.unique``, symmetric anchor pairs are encoded as
+    single integers and tallied by a second ``np.unique``, and original
+    node ids are decoded once per *unique* pair instead of once per
+    embedding.  The result is bit-identical to the streamed path: the
+    pair set of an instance does not depend on which witness embedding
+    ``np.unique`` happens to keep (symmetric pattern-node pairs are
+    closed under automorphisms — see the module docstring).
+    """
+    counts = MetagraphCounts()
+    embeddings = compiled_embedding_matrix(csr, metagraph)
+    if embeddings.shape[0] == 0:
+        return counts
+    keys = np.sort(embeddings, axis=1)
+    _, first = np.unique(keys, axis=0, return_index=True)
+    counts.num_instances = int(first.size)
+    sym_pairs = sorted(anchor_symmetric_pairs(metagraph, anchor_type))
+    if not sym_pairs:
+        return counts
+    witnesses = embeddings[first]
+    node_ids = csr.node_ids
+    # dense ids are int32, so an unordered pair packs into one int64
+    # (lo * stride + hi < 2^62) with no overflow risk; the *instance*
+    # dimension is deliberately NOT packed into the same scalar — that
+    # triple product could wrap int64 on huge graphs — and is deduped by
+    # lexsort over (instance, code) instead (1-D ops stay fast).
+    stride = max(csr.num_nodes, 1)
+    code_cols = []
+    for u, v in sym_pairs:
+        a, b = witnesses[:, u], witnesses[:, v]
+        code_cols.append(np.minimum(a, b) * stride + np.maximum(a, b))
+    rows = np.repeat(np.arange(first.size), len(sym_pairs))
+    code = np.stack(code_cols, axis=1).ravel()
+    order = np.lexsort((code, rows))
+    rows, code = rows[order], code[order]
+    keep = np.ones(rows.size, dtype=bool)  # an instance counts each
+    keep[1:] = (rows[1:] != rows[:-1]) | (code[1:] != code[:-1])  # pair once
+    rows, code = rows[keep], code[keep]
+    uniq_codes, pair_tallies = np.unique(code, return_counts=True)
+    counts.pair_counts.update(
+        {
+            _pair_key(node_ids[c // stride], node_ids[c % stride]): count
+            for c, count in zip(uniq_codes.tolist(), pair_tallies.tolist())
+        }
+    )
+    # ... and each node once, however many of its pairs the instance has
+    node_rows = np.concatenate([rows, rows])
+    node_vals = np.concatenate([code // stride, code % stride])
+    order = np.lexsort((node_vals, node_rows))
+    node_rows, node_vals = node_rows[order], node_vals[order]
+    keep = np.ones(node_rows.size, dtype=bool)
+    keep[1:] = (node_rows[1:] != node_rows[:-1]) | (node_vals[1:] != node_vals[:-1])
+    uniq_nodes, node_tallies = np.unique(node_vals[keep], return_counts=True)
+    counts.node_counts.update(
+        {
+            node_ids[c]: count
+            for c, count in zip(uniq_nodes.tolist(), node_tallies.tolist())
+        }
+    )
+    return counts
+
+
 def match_and_count(
     graph: TypedGraph,
     metagraph: Metagraph,
@@ -91,10 +163,17 @@ def match_and_count(
 ) -> MetagraphCounts:
     """Match a metagraph and accumulate its Eq. 1–2 counts.
 
-    Instances are streamed (deduplicated embeddings) and only the counts
-    are retained, so peak memory is the per-metagraph instance set.
+    The default engine is the compiled integer-CSR kernel, counted
+    through its array fast path.  Any other
+    :class:`~repro.matching.base.MatcherProtocol` engine streams
+    deduplicated embeddings through the reference path instead; the two
+    paths are bit-identical (the cross-matcher parity suite pins it).
     """
-    engine = matcher if matcher is not None else SymISOMatcher()
+    engine = matcher if matcher is not None else CompiledMatcher()
+    if isinstance(engine, CompiledMatcher):
+        return compiled_match_and_count(
+            engine.csr_for(graph), metagraph, anchor_type
+        )
     sym_pairs = anchor_symmetric_pairs(metagraph, anchor_type)
     counts = MetagraphCounts()
     count_instances_into(

@@ -6,35 +6,45 @@ The offline phase's cost is Eq. 1–2 counting — one independent
 - **across metagraphs**: each catalog id is one task;
 - **across graph partitions**: a pattern with at least
   ``IndexBuildConfig.min_partition_size`` nodes is further split with
-  :func:`repro.matching.partition.shard_embeddings`, so a handful of
-  expensive patterns cannot serialise the build on one worker.
+  root-partitioned shard streams, so a handful of expensive patterns
+  cannot serialise the build on one worker.
 
-Workers receive the graph and catalog once (pool initializer), return
-plain counters or per-instance records, and the parent folds results in
-ascending metagraph-id order.  Sharded results are merged with
-instance-level deduplication before counting, so the store is
-*bit-identical* to the sequential :func:`~repro.index.vectors.build_vectors`
-output — the determinism suite compares snapshot bytes across worker
-counts to prove it.
+With the default compiled matcher the pool initializer ships the
+compact :class:`~repro.graph.csr.CSRGraph` arrays (plus the catalog)
+instead of re-pickling the dict-of-set :class:`TypedGraph` — workers
+bind a :class:`~repro.matching.compiled.CompiledMatcher` straight to
+the arrays.  Any other configured engine falls back to shipping the
+graph itself.  Either way workers return plain counters or per-instance
+records and the parent folds results in ascending metagraph-id order.
+Sharded results are merged with instance-level deduplication before
+counting, so the store is *bit-identical* to the sequential
+:func:`~repro.index.vectors.build_vectors` output — the determinism
+suite compares snapshot bytes across worker counts to prove it.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
+from repro.graph.csr import CSRGraph, csr_view
 from repro.graph.typed_graph import TypedGraph
 from repro.index.instance_index import (
     InstanceIndex,
     MetagraphCounts,
     _pair_key,
+    compiled_match_and_count,
     match_and_count,
 )
 from repro.index.transform import Transform, identity
 from repro.index.vectors import MetagraphVectors, build_vectors
-from repro.matching.base import deduplicate_instances
+import numpy as np
+
+from repro.matching import make_matcher
+from repro.matching.base import Embedding, deduplicate_instances
+from repro.matching.compiled import compiled_shard_matrix
 from repro.matching.partition import shard_embeddings
 from repro.metagraph.catalog import MetagraphCatalog
 from repro.metagraph.metagraph import Metagraph
@@ -60,11 +70,22 @@ class IndexBuildConfig:
     partitions_per_metagraph:
         How many graph partitions a large pattern is split into
         (default: ``workers``).
+    matcher:
+        Matching engine name (see :data:`repro.matching.MATCHERS`).
+        The default ``"compiled"`` runs the integer-CSR kernel and
+        ships CSR arrays to workers.  Whole-metagraph tasks always use
+        the selected engine; *sharded* tasks need root-restricted
+        search, which only the compiled kernel and the plain
+        backtracking skeleton support — under any other engine the
+        sharded (large) patterns run root-restricted backtracking, as
+        the sequential mixed-engine build always has.  Counts are
+        identical either way.
     """
 
     workers: int = 1
     min_partition_size: int = 4
     partitions_per_metagraph: int | None = None
+    matcher: str = "compiled"
 
     def partitions_for(self, metagraph: Metagraph) -> int:
         """Number of shards for one pattern under this configuration."""
@@ -76,24 +97,38 @@ class IndexBuildConfig:
 # ----------------------------------------------------------------------
 # worker side: module-level state installed once per process
 # ----------------------------------------------------------------------
-_worker_graph: TypedGraph | None = None
+_worker_payload: TypedGraph | CSRGraph | None = None
 _worker_catalog: MetagraphCatalog | None = None
+_worker_matcher: str = "compiled"
 
 
-def _init_worker(graph: TypedGraph, catalog: MetagraphCatalog) -> None:
-    global _worker_graph, _worker_catalog
-    _worker_graph = graph
+def _init_worker(
+    payload: TypedGraph | CSRGraph,
+    catalog: MetagraphCatalog,
+    matcher: str,
+) -> None:
+    global _worker_payload, _worker_catalog, _worker_matcher
+    _worker_payload = payload
     _worker_catalog = catalog
+    _worker_matcher = matcher
 
 
 def _whole_metagraph_task(mg_id: int) -> tuple[int, MetagraphCounts, float]:
     """One unsharded task: the sequential per-metagraph counting."""
     start = time.perf_counter()
-    counts = match_and_count(
-        _worker_graph,
-        _worker_catalog[mg_id],
-        anchor_type=_worker_catalog.anchor_type,
-    )
+    if isinstance(_worker_payload, CSRGraph):
+        counts = compiled_match_and_count(
+            _worker_payload,
+            _worker_catalog[mg_id],
+            anchor_type=_worker_catalog.anchor_type,
+        )
+    else:
+        counts = match_and_count(
+            _worker_payload,
+            _worker_catalog[mg_id],
+            anchor_type=_worker_catalog.anchor_type,
+            matcher=make_matcher(_worker_matcher),
+        )
     return mg_id, counts, time.perf_counter() - start
 
 
@@ -102,24 +137,25 @@ def _shard_task(
 ) -> tuple[int, InstanceRecords, float]:
     """One graph-partition shard of a large pattern's instance stream."""
     start = time.perf_counter()
-    records = shard_instance_records(
-        _worker_graph,
-        _worker_catalog[mg_id],
-        _worker_catalog.anchor_type,
-        shard,
-        num_shards,
-    )
+    metagraph = _worker_catalog[mg_id]
+    anchor_type = _worker_catalog.anchor_type
+    if isinstance(_worker_payload, CSRGraph):
+        records = compiled_shard_records(
+            _worker_payload, metagraph, anchor_type, shard, num_shards
+        )
+    else:
+        records = shard_instance_records(
+            _worker_payload, metagraph, anchor_type, shard, num_shards
+        )
     return mg_id, records, time.perf_counter() - start
 
 
-def shard_instance_records(
-    graph: TypedGraph,
+def records_from_embeddings(
+    embeddings: Iterable[Embedding],
     metagraph: Metagraph,
     anchor_type: str,
-    shard: int,
-    num_shards: int,
 ) -> InstanceRecords:
-    """Instances found in one shard, as ``{node set: symmetric pairs}``.
+    """Deduplicated instance records ``{node set: symmetric pairs}``.
 
     The pair set of an instance is witness-independent (symmetric
     pattern-node pairs are invariant under automorphisms), so records of
@@ -130,12 +166,57 @@ def shard_instance_records(
     ordered = sorted(metagraph.nodes())
     position = {u: i for i, u in enumerate(ordered)}
     records: InstanceRecords = {}
-    for instance in deduplicate_instances(
-        shard_embeddings(graph, metagraph, shard, num_shards)
-    ):
+    for instance in deduplicate_instances(embeddings):
         emb = instance.embedding
         records[instance.nodes] = frozenset(
             _pair_key(emb[position[u]], emb[position[v]]) for u, v in sym_pairs
+        )
+    return records
+
+
+def shard_instance_records(
+    graph: TypedGraph,
+    metagraph: Metagraph,
+    anchor_type: str,
+    shard: int,
+    num_shards: int,
+) -> InstanceRecords:
+    """Instances found in one pure-Python shard, as instance records."""
+    return records_from_embeddings(
+        shard_embeddings(graph, metagraph, shard, num_shards),
+        metagraph,
+        anchor_type,
+    )
+
+
+def compiled_shard_records(
+    csr: CSRGraph,
+    metagraph: Metagraph,
+    anchor_type: str,
+    shard: int,
+    num_shards: int,
+) -> InstanceRecords:
+    """One compiled shard's instance records, deduplicated at array level.
+
+    Equal to :func:`shard_instance_records` record for record (same
+    node sets, same witness-invariant pair keys), but instances collapse
+    under one ``np.unique`` over integer rows — Python objects are built
+    once per *unique* instance, never per embedding, matching the
+    unsharded path's :func:`compiled_match_and_count` economics.
+    """
+    embeddings = compiled_shard_matrix(csr, metagraph, shard, num_shards)
+    if embeddings.shape[0] == 0:
+        return {}
+    keys = np.sort(embeddings, axis=1)
+    uniq, first = np.unique(keys, axis=0, return_index=True)
+    witnesses = embeddings[first]
+    sym_pairs = sorted(anchor_symmetric_pairs(metagraph, anchor_type))
+    node_ids = csr.node_ids
+    records: InstanceRecords = {}
+    for key_row, witness in zip(uniq.tolist(), witnesses.tolist()):
+        records[frozenset(node_ids[i] for i in key_row)] = frozenset(
+            _pair_key(node_ids[witness[u]], node_ids[witness[v]])
+            for u, v in sym_pairs
         )
     return records
 
@@ -179,7 +260,11 @@ def build_index(
     config = config or IndexBuildConfig()
     if config.workers <= 1:
         return build_vectors(
-            graph, catalog, transform=transform, on_metagraph=on_metagraph
+            graph,
+            catalog,
+            matcher=make_matcher(config.matcher),
+            transform=transform,
+            on_metagraph=on_metagraph,
         )
 
     store = MetagraphVectors(
@@ -192,10 +277,13 @@ def build_index(
     seconds_by_id: dict[int, float] = {}
     records_by_id: dict[int, InstanceRecords] = {}
 
+    # the compiled engine's workers get the compact CSR arrays; any
+    # other engine still needs the TypedGraph's dict-of-set adjacency
+    payload = csr_view(graph) if config.matcher.lower() == "compiled" else graph
     with ProcessPoolExecutor(
         max_workers=config.workers,
         initializer=_init_worker,
-        initargs=(graph, catalog),
+        initargs=(payload, catalog, config.matcher),
     ) as pool:
         futures = []
         for mg_id in catalog.ids():

@@ -323,6 +323,10 @@ def build_vectors(
         calls this twice — first with the seed ids, later with the
         selected candidates — passing the same ``vectors``/``index`` to
         extend them in place.
+    matcher:
+        Matching engine (default: the compiled integer-CSR kernel,
+        counted through its array fast path).  Every engine yields
+        bit-identical counts; the choice is purely about speed.
     on_metagraph:
         Optional callback ``(mg_id, seconds)`` invoked after each
         metagraph is matched; the experiment harness uses it to record

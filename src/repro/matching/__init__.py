@@ -1,5 +1,6 @@
 """Subgraph matching engines for metagraphs (Sect. IV)."""
 
+from repro.exceptions import MatchingError
 from repro.matching.backtracking import backtrack_embeddings
 from repro.matching.base import (
     Embedding,
@@ -11,6 +12,11 @@ from repro.matching.base import (
     is_valid_embedding,
 )
 from repro.matching.boostiso import BoostISOMatcher
+from repro.matching.compiled import (
+    CompiledMatcher,
+    compiled_pinned_embeddings,
+    compiled_shard_embeddings,
+)
 from repro.matching.ordering import (
     GraphCardinalities,
     estimated_cost_order,
@@ -28,12 +34,37 @@ ALL_ENGINES = {
     "BoostISO": BoostISOMatcher,
     "TurboISO": TurboISOMatcher,
     "QuickSI": QuickSIMatcher,
+    "Compiled": CompiledMatcher,
 }
 """Factory registry used by Fig. 11 and the engine-agreement tests."""
 
+MATCHERS = {
+    "compiled": CompiledMatcher,
+    "symiso": lambda: SymISOMatcher(),
+    "symiso-r": lambda: SymISOMatcher(random_order=True, seed=7),
+    "boostiso": BoostISOMatcher,
+    "turboiso": TurboISOMatcher,
+    "quicksi": QuickSIMatcher,
+}
+"""Config/CLI matcher names (``--matcher``) to engine factories."""
+
+
+def make_matcher(name: str) -> MatcherProtocol:
+    """Instantiate a matching engine from its config/CLI name."""
+    try:
+        factory = MATCHERS[name.lower()]
+    except KeyError:
+        raise MatchingError(
+            f"unknown matcher {name!r}; expected one of {sorted(MATCHERS)}"
+        ) from None
+    return factory()
+
+
 __all__ = [
     "ALL_ENGINES",
+    "MATCHERS",
     "BoostISOMatcher",
+    "CompiledMatcher",
     "Embedding",
     "GraphCardinalities",
     "Instance",
@@ -43,11 +74,14 @@ __all__ = [
     "TurboISOMatcher",
     "backtrack_embeddings",
     "candidate_regions",
+    "compiled_pinned_embeddings",
+    "compiled_shard_embeddings",
     "count_instances",
     "deduplicate_instances",
     "estimated_cost_order",
     "find_instances",
     "is_valid_embedding",
+    "make_matcher",
     "random_connected_order",
     "rarest_type_order",
     "shard_embeddings",

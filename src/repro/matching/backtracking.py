@@ -40,7 +40,8 @@ def _prefix_structure(
     nonneighbors: list[list[int]] = []
     for i, u in enumerate(order):
         nbr = [position[w] for w in metagraph.neighbors(u) if position[w] < i]
-        non = [j for j in range(i) if j not in set(nbr)]
+        nbr_set = set(nbr)  # hoisted: the comprehension is O(i) either way,
+        non = [j for j in range(i) if j not in nbr_set]  # not O(i * deg)
         neighbors.append(sorted(nbr))
         nonneighbors.append(non)
     return neighbors, nonneighbors

@@ -25,13 +25,15 @@ from repro.metagraph.metagraph import Metagraph
 Embedding = dict[int, NodeId]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instance:
     """One instance of a metagraph on a graph.
 
     ``nodes`` identifies the instance (induced semantics: a node set
     induces at most one subgraph); ``embedding`` is one witnessing map,
-    stored as a tuple indexed by pattern node.
+    stored as a tuple indexed by pattern node.  Slots matter here:
+    instance streams reach millions of objects on serving-scale builds,
+    and the per-instance ``__dict__`` dominated their footprint.
     """
 
     nodes: frozenset[NodeId]
@@ -76,15 +78,27 @@ def is_valid_embedding(
 
 
 def deduplicate_instances(embeddings: Iterable[Embedding]) -> Iterator[Instance]:
-    """Collapse embeddings into instances, yielding each node set once."""
-    seen: set[frozenset[NodeId]] = set()
+    """Collapse embeddings into instances, yielding each node set once.
+
+    The seen-set keys on a *sorted node-id tuple* rather than a
+    frozenset: tuples are smaller and cheaper to hash, and the frozenset
+    is only materialised for the instances actually yielded — duplicate
+    embeddings (one per pattern automorphism, the common case) allocate
+    nothing but their key.  Mixed non-comparable id types fall back to
+    ``repr`` ordering, like :func:`repro.graph.typed_graph.edge_key`.
+    """
+    seen: set[tuple[NodeId, ...]] = set()
     for embedding in embeddings:
-        nodes = frozenset(embedding.values())
-        if nodes in seen:
+        images = embedding.values()
+        try:
+            key = tuple(sorted(images))
+        except TypeError:
+            key = tuple(sorted(images, key=repr))
+        if key in seen:
             continue
-        seen.add(nodes)
+        seen.add(key)
         witness = tuple(embedding[u] for u in sorted(embedding))
-        yield Instance(nodes=nodes, embedding=witness)
+        yield Instance(nodes=frozenset(images), embedding=witness)
 
 
 def find_instances(

@@ -147,6 +147,44 @@ class TestSimRank:
         with pytest.raises(ReproError):
             SimRank(toy_graph, max_nodes=3)
 
+    def test_sparse_matches_dense(self, toy_graph):
+        """The scipy-sparse iteration is a pure speed change."""
+        pytest.importorskip("scipy")
+        import numpy as np
+
+        sparse = SimRank(toy_graph, iterations=5, use_sparse=True)
+        dense = SimRank(toy_graph, iterations=5, use_sparse=False)
+        assert np.allclose(sparse._scores, dense._scores)
+        for x in ("Kate", "Alice"):
+            for y in USERS:
+                assert sparse.similarity(x, y) == pytest.approx(
+                    dense.similarity(x, y)
+                )
+
+    def test_sparse_matches_dense_on_random_graph(self):
+        pytest.importorskip("scipy")
+        import numpy as np
+
+        from tests.conftest import random_typed_graph
+
+        graph = random_typed_graph(11, num_users=10, num_attrs_per_type=4)
+        sparse = SimRank(graph, iterations=6, use_sparse=True)
+        dense = SimRank(graph, iterations=6, use_sparse=False)
+        assert np.allclose(sparse._scores, dense._scores)
+
+    def test_raised_guard_admits_midsize_graphs(self):
+        """The sparse iteration is why its default guard sits at 10k."""
+        pytest.importorskip("scipy")  # the dense fallback keeps the 4k guard
+        from repro.graph.typed_graph import TypedGraph
+
+        graph = TypedGraph()
+        for i in range(4001):  # over the old dense-W limit of 4000
+            graph.add_node(i, "user" if i % 2 else "hobby")
+        for i in range(1, 4001):
+            graph.add_edge(i, i - 1)
+        sim = SimRank(graph, iterations=1)
+        assert sim.similarity(0, 0) == pytest.approx(1.0)
+
 
 class TestMGPVariants:
     @pytest.fixture(scope="class")

@@ -59,6 +59,37 @@ class TestShardRecords:
         with pytest.raises(MatchingError):
             list(shard_embeddings(toy_graph, toy_metagraphs["M1"], 0, 0))
 
+    def test_compiled_shard_records_match_python_merge(self, toy_graph, toy_metagraphs):
+        """The array-level shard worker path produces identical records."""
+        from repro.graph.csr import csr_view
+        from repro.index.parallel import compiled_shard_records
+
+        csr = csr_view(toy_graph)
+        for metagraph in toy_metagraphs.values():
+            for num_shards in (1, 2, 3):
+                python_merged: dict = {}
+                compiled_merged: dict = {}
+                for shard in range(num_shards):
+                    python_merged.update(
+                        shard_instance_records(
+                            toy_graph, metagraph, "user", shard, num_shards
+                        )
+                    )
+                    compiled_merged.update(
+                        compiled_shard_records(
+                            csr, metagraph, "user", shard, num_shards
+                        )
+                    )
+                assert compiled_merged == python_merged
+
+    def test_compiled_shard_records_invalid_shard_rejected(self, toy_graph, toy_metagraphs):
+        from repro.graph.csr import csr_view
+        from repro.index.parallel import compiled_shard_records
+
+        csr = csr_view(toy_graph)
+        with pytest.raises(MatchingError):
+            compiled_shard_records(csr, toy_metagraphs["M1"], "user", 2, 2)
+
 
 class TestBuildIndex:
     @pytest.fixture

@@ -16,6 +16,7 @@ failure is replayable from its seed alone.
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -176,3 +177,58 @@ class TestCrossMatcherParity:
         rng = random.Random(0)
         for metagraph in toy_metagraphs.values():
             assert_parity(toy_graph, metagraph, rng)
+
+
+class TestCompiledCountsParity:
+    """The compiled kernel's counting fast path vs the streamed reference.
+
+    ``CompiledMatcher`` is the engine the offline build now defaults to
+    and :func:`match_and_count` routes it through the integer fast path,
+    so this pins the acceptance contract directly: bit-identical
+    :class:`MetagraphCounts` to ``SymISO`` across every metagraph of
+    every dataset's mined catalog.
+    """
+
+    @pytest.mark.parametrize("dataset_name", ["linkedin", "facebook"])
+    def test_compiled_counts_match_symiso_on_mined_catalogs(self, dataset_name):
+        from repro.datasets import load_dataset
+        from repro.index.instance_index import match_and_count
+        from repro.matching import CompiledMatcher, SymISOMatcher
+        from repro.mining import MinerConfig, mine_catalog
+
+        dataset = load_dataset(dataset_name, scale="tiny")
+        catalog = mine_catalog(
+            dataset.graph,
+            MinerConfig(max_nodes=4, min_support=3),
+            anchor_type=dataset.anchor_type,
+        )
+        assert len(catalog) > 0
+        for mg_id in catalog.ids():
+            reference = match_and_count(
+                dataset.graph,
+                catalog[mg_id],
+                anchor_type=catalog.anchor_type,
+                matcher=SymISOMatcher(),
+            )
+            compiled = match_and_count(
+                dataset.graph,
+                catalog[mg_id],
+                anchor_type=catalog.anchor_type,
+                matcher=CompiledMatcher(),
+            )
+            assert compiled.num_instances == reference.num_instances, mg_id
+            assert compiled.node_counts == reference.node_counts, mg_id
+            assert compiled.pair_counts == reference.pair_counts, mg_id
+
+    def test_compiled_counts_match_on_toy_catalog(self, toy_graph, toy_metagraphs):
+        from repro.index.instance_index import match_and_count
+        from repro.matching import CompiledMatcher, SymISOMatcher
+
+        for metagraph in toy_metagraphs.values():
+            reference = match_and_count(
+                toy_graph, metagraph, matcher=SymISOMatcher()
+            )
+            compiled = match_and_count(
+                toy_graph, metagraph, matcher=CompiledMatcher()
+            )
+            assert compiled == reference
