@@ -10,9 +10,14 @@ persistence workflow a production deployment would use:
    (``manifest.json`` + ``catalog.json`` + ``arrays.npz``) via
    ``engine.save_index()``;
 2. *service*: cold-start with ``SemanticProximitySearch.from_index()``
-   — no mining, no matching — and answer queries with explanations
+   — no mining, no matching, and the format-v2 sidecar memory-mapped
+   instead of decompressed — and answer queries with explanations
    (Fig. 1(b)'s "result with explanation" column), including a batched
-   pass comparing the scalar and compiled scoring paths.
+   pass comparing the scalar and compiled scoring paths;
+3. *sharded tier*: re-serve the same batch through a 4-shard, 2-worker
+   query router (``repro.serving``) and check it returns bit-identical
+   rankings, then show how an unknown or off-anchor query is rejected
+   with ``QueryError`` instead of ranking as all zeros.
 
 Run:  python examples/search_service.py [snapshot-dir]
 
@@ -71,10 +76,12 @@ def service(snapshot_dir: Path) -> None:
     start = time.perf_counter()
     engine = SemanticProximitySearch.from_index(snapshot_dir, dataset.graph)
     cold_start_s = time.perf_counter() - start
+    backend = type(engine.vectors.compile().node_data).__name__
     print(
         f"[service] cold start in {cold_start_s * 1e3:.1f} ms: "
         f"{len(engine.classes)} classes over {len(engine.catalog)} "
-        f"metagraphs, no mining or matching"
+        f"metagraphs, no mining or matching "
+        f"(serving arrays: {backend})"
     )
 
     query = sorted(engine.vectors.nodes_with_counts())[0]
@@ -93,6 +100,7 @@ def service(snapshot_dir: Path) -> None:
             print(f"  {node}  pi={score:.3f}  because {', '.join(reasons)}")
 
     batched_comparison(engine)
+    sharded_tier(snapshot_dir, dataset)
 
 
 def batched_comparison(engine: SemanticProximitySearch) -> None:
@@ -131,6 +139,42 @@ def batched_comparison(engine: SemanticProximitySearch) -> None:
         f"scalar {scalar_ms:.1f} ms, compiled {compiled_ms:.1f} ms "
         f"({speedup:.1f}x), matching rankings"
     )
+
+
+def sharded_tier(snapshot_dir: Path, dataset) -> None:
+    """Serve through the shard router and demonstrate query validation."""
+    from repro.exceptions import QueryError
+
+    engine = SemanticProximitySearch.from_index(
+        snapshot_dir, dataset.graph, shards=4, serving_workers=2
+    )
+    flat = SemanticProximitySearch.from_index(snapshot_dir, dataset.graph)
+    class_name = engine.classes[0]
+    queries = list(engine.universe())[:16]
+    start = time.perf_counter()
+    sharded = engine.query_many(class_name, queries, k=5)
+    sharded_ms = (time.perf_counter() - start) * 1e3
+    assert sharded == flat.query_many(class_name, queries, k=5)
+    print(
+        f"\n[sharded] {len(queries)} queries over 4 shards / 2 workers in "
+        f"{sharded_ms:.1f} ms — rankings bit-identical to the unsharded tier"
+    )
+
+    # a production service must refuse what it cannot answer: unknown
+    # nodes and non-anchor nodes raise QueryError instead of silently
+    # ranking as all zeros
+    off_anchor = next(
+        node
+        for node in dataset.graph.nodes()
+        if dataset.graph.node_type(node) != dataset.anchor_type
+    )
+    for bad in ("no-such-user", off_anchor):
+        try:
+            engine.query(class_name, bad, k=5)
+        except QueryError as exc:
+            print(f"[sharded] rejected {bad!r}: {exc}")
+        else:
+            raise AssertionError(f"{bad!r} should have been rejected")
 
 
 def main() -> None:

@@ -6,6 +6,7 @@ Usage::
     python -m repro fig6 --scale small --splits 3
     python -m repro all --quick
     python -m repro serve --quick --queries u1,u2 --k 5
+    python -m repro serve --quick --shards 4 --workers 4
     python -m repro index build --dataset linkedin --out idx/ --workers 4
     python -m repro index info idx/
     python -m repro index update idx/ --dataset linkedin --edits edits.json
@@ -111,6 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through the scalar reference path instead of the "
         "compiled CSR backend",
     )
+    serve_arg(
+        "--shards",
+        type=int,
+        help="partition the compiled universe into this many node-range "
+        "shards and serve through the shard router (default: 1 = "
+        "unsharded; rankings are bit-identical for every value)",
+    )
+    serve_arg(
+        "--workers",
+        type=int,
+        help="router worker threads a query batch fans out over "
+        "(default: 1; only meaningful with --shards > 1)",
+    )
     parser.serve_only_options = serve_only
     return parser
 
@@ -141,11 +155,15 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     # validate --class against a cheap tiny-scale load before paying for
     # the full offline build (classes are scale-independent)
     from repro.datasets import load_dataset
+    from repro.exceptions import QueryError
+    from repro.serving import QueryRouter, ShardedVectors, validate_query_node
 
     # resolve the None sentinels build_parser uses for serve-only flags
     dataset_name = args.dataset or "linkedin"
     num_queries = 8 if args.num_queries is None else args.num_queries
     top_k = 5 if args.k is None else args.k
+    shards = 1 if args.shards is None else args.shards
+    workers = 1 if args.workers is None else args.workers
     if num_queries < 0:
         print(
             f"--num-queries must be >= 0, got {num_queries}",
@@ -154,6 +172,19 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
         return 2
     if top_k <= 0:
         print(f"--k must be >= 1, got {top_k}", file=sys.stderr)
+        return 2
+    if shards < 1:
+        print(f"--shards must be >= 1, got {shards}", file=sys.stderr)
+        return 2
+    if workers < 1:
+        print(f"--workers must be >= 1, got {workers}", file=sys.stderr)
+        return 2
+    if args.scalar and shards > 1:
+        print(
+            "--scalar serves the uncompiled reference path; it cannot be "
+            "combined with --shards",
+            file=sys.stderr,
+        )
         return 2
     classes = load_dataset(dataset_name, scale="tiny").classes
     class_name = args.class_name or classes[0]
@@ -183,13 +214,11 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
                 file=sys.stderr,
             )
             return 2
-        unknown = [q for q in queries if q not in universe.members()]
-        if unknown:
-            print(
-                f"unknown query node(s) {unknown}; queries must be "
-                f"{dataset.anchor_type!r} nodes of the {dataset_name} graph",
-                file=sys.stderr,
-            )
+        try:
+            for query in queries:
+                validate_query_node(dataset.graph, query, dataset.anchor_type)
+        except QueryError as exc:
+            print(f"cannot serve this batch: {exc}", file=sys.stderr)
             return 2
     else:
         queries = list(dataset.queries(class_name))[:num_queries]
@@ -204,11 +233,31 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     weights = runner.trainer().train(triplets, phase.vectors)
     model = ProximityModel(weights, phase.vectors, name=class_name)
     backend = "scalar"
+    router = None
     if not args.scalar:
         model.compile()
         backend = "compiled"
+    if shards > 1:
+        router = QueryRouter(
+            ShardedVectors.partition(phase.vectors.compile(), shards),
+            workers=workers,
+        )
+        backend = f"sharded ({shards} shards, {workers} workers)"
     start = time.perf_counter()
-    rankings = [model.rank(q, universe=universe, k=top_k) for q in queries]
+    try:
+        if router is not None:
+            rankings = router.rank_many(model, queries, universe=universe, k=top_k)
+        else:
+            rankings = [model.rank(q, universe=universe, k=top_k) for q in queries]
+    except QueryError as exc:
+        # the batch was validated above, so this is unreachable in
+        # practice — but a clean message beats a traceback if a new
+        # serving path ever skips validation
+        print(f"cannot serve this batch: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if router is not None:
+            router.close()
     elapsed = time.perf_counter() - start
     print(
         f"[serve] {dataset_name}/{class_name!r}: {len(queries)} queries, "
@@ -353,7 +402,10 @@ def run_index_update(args) -> int:
         # reconstruct the graph the snapshot describes: base dataset
         # graph + the snapshot's recorded update log
         replayed.apply_to(graph)
-        loaded = load_index(args.path, graph=graph)
+        # mmap=False: the update path patches the raw counts and
+        # re-derives the sidecar on save, so opening the mmap arrays
+        # would only hold file handles into the directory being swapped
+        loaded = load_index(args.path, graph=graph, mmap=False)
     except ReproError as exc:
         print(f"[index] cannot update {args.path}: {exc}", file=sys.stderr)
         return 1
@@ -445,15 +497,44 @@ def run_index(argv: list[str]) -> int:
     if args.action == "update":
         return run_index_update(args)
     if args.action == "info":
+        from repro.index import load_compiled
+
         try:
-            loaded = load_index(args.path)
+            # mmap=False: info is the verification tool, so skip the
+            # mmap fast path and hash the sidecar in full below instead
+            # of opening it twice
+            loaded = load_index(args.path, mmap=False)
         except SnapshotError as exc:
             print(f"[index] invalid snapshot at {args.path}: {exc}", file=sys.stderr)
             return 1
+        # the sidecar is derived data — its loss degrades the mmap fast
+        # path (load_index falls back to the counts), it does not
+        # invalidate the snapshot, so report it rather than failing
+        sidecar = sidecar_problem = None
+        if loaded.manifest.get("compiled_arrays"):
+            try:
+                sidecar = load_compiled(
+                    args.path, manifest=loaded.manifest, mmap=False
+                )
+            except SnapshotError as exc:
+                sidecar_problem = str(exc)
         manifest = loaded.manifest
         stats = manifest["stats"]
         print(f"[index] snapshot at {args.path} (verified)")
         print(f"  format version : {manifest['format_version']}")
+        if sidecar is not None:
+            print(
+                f"  mmap sidecar   : {len(manifest['compiled_arrays'])} "
+                f"members, {sidecar.num_nodes} nodes, {sidecar.nnz} "
+                "nonzeros (digests verified)"
+            )
+        elif sidecar_problem is not None:
+            print(
+                "  mmap sidecar   : UNUSABLE — serving falls back to the "
+                f"counts ({sidecar_problem})"
+            )
+        else:
+            print("  mmap sidecar   : (none — format v1 snapshot)")
         print(f"  anchor type    : {manifest['anchor_type']}")
         print(f"  metagraphs     : {manifest['catalog_size']}")
         print(

@@ -61,6 +61,17 @@ class LearningError(ReproError):
     """Base class for errors raised by the learning subsystem."""
 
 
+class QueryError(ReproError, ValueError):
+    """An online query references a node the index cannot rank.
+
+    Raised instead of silently returning an all-zero ranking when the
+    query (or pair member) is absent from the graph, or exists but is
+    not of the engine's anchor type — both cases where Sect. IV's
+    online phase is undefined and any answer would be confidently
+    wrong.
+    """
+
+
 class TrainingDataError(LearningError, ValueError):
     """Training examples are empty, malformed, or inconsistent."""
 

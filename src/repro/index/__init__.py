@@ -20,6 +20,7 @@ from repro.index.persist import (
     LoadedIndex,
     catalog_fingerprint,
     graph_fingerprint,
+    load_compiled,
     load_index,
     read_manifest,
     save_index,
@@ -63,6 +64,7 @@ __all__ = [
     "get_transform",
     "graph_fingerprint",
     "identity",
+    "load_compiled",
     "load_index",
     "log1p",
     "match_and_count",

@@ -34,6 +34,36 @@ from repro.index.instance_index import _pair_key
 from repro.index.transform import Transform, identity
 
 
+def csr_row_index(indptr: np.ndarray) -> np.ndarray:
+    """Row id of every stored nonzero, from a CSR ``indptr``.
+
+    Precomputing this collapses a CSR @ w to one multiply plus one
+    bincount (:func:`csr_dot_products`) with no per-row python loop.
+    """
+    return np.repeat(
+        np.arange(len(indptr) - 1, dtype=np.int64), np.diff(indptr)
+    )
+
+
+def csr_dot_products(
+    row_index: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    weights: np.ndarray,
+    num_rows: int,
+) -> np.ndarray:
+    """Per-row ``row . w`` over a CSR matrix, one O(nnz) pass.
+
+    Sums each row's nonzeros in storage order, so any slice that copies
+    rows intact (e.g. a serving shard) reproduces the exact float bits
+    of the unsliced computation.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    return np.bincount(
+        row_index, weights=data * weights[indices], minlength=num_rows
+    )
+
+
 def _csr_from_rows(
     rows: list[dict[int, int]], transform: Transform
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -74,14 +104,8 @@ class CompiledVectors:
         self.entry_pair = entry_pair
         self.catalog_size = catalog_size
         self._pos = {node: i for i, node in enumerate(nodes)}
-        # row index of every stored nonzero, so a CSR @ w collapses to
-        # one multiply plus one bincount (no per-row python loop)
-        self._node_rows = np.repeat(
-            np.arange(len(nodes), dtype=np.int64), np.diff(self.node_indptr)
-        )
-        self._pair_rows = np.repeat(
-            np.arange(self.num_pairs, dtype=np.int64), np.diff(self.pair_indptr)
-        )
+        self._node_rows = csr_row_index(self.node_indptr)
+        self._pair_rows = csr_row_index(self.pair_indptr)
         for array in (
             self.node_indptr, self.node_indices, self.node_data,
             self.pair_indptr, self.pair_indices, self.pair_data,
@@ -167,20 +191,16 @@ class CompiledVectors:
     # ------------------------------------------------------------------
     def node_dot_products(self, weights: np.ndarray) -> np.ndarray:
         """m_x . w for every anchor node, one pass over the nonzeros."""
-        weights = np.asarray(weights, dtype=np.float64)
-        return np.bincount(
-            self._node_rows,
-            weights=self.node_data * weights[self.node_indices],
-            minlength=self.num_nodes,
+        return csr_dot_products(
+            self._node_rows, self.node_indices, self.node_data,
+            weights, self.num_nodes,
         )
 
     def pair_dot_products(self, weights: np.ndarray) -> np.ndarray:
         """m_xy . w for every distinct anchor pair, one pass."""
-        weights = np.asarray(weights, dtype=np.float64)
-        return np.bincount(
-            self._pair_rows,
-            weights=self.pair_data * weights[self.pair_indices],
-            minlength=self.num_pairs,
+        return csr_dot_products(
+            self._pair_rows, self.pair_indices, self.pair_data,
+            weights, self.num_pairs,
         )
 
     # ------------------------------------------------------------------

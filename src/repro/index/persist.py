@@ -9,7 +9,13 @@ into one directory:
   node-id table, array checksums, per-class model names;
 - ``catalog.json`` — the metagraph catalog (its own JSON format);
 - ``arrays.npz`` — CSR-style count arrays and model weight vectors,
-  compressed.
+  compressed;
+- ``compiled/`` (format v2) — the serving-tier sidecar: each
+  :class:`~repro.index.compiled.CompiledVectors` array as a raw,
+  64-byte-aligned ``.npy`` member that :func:`load_compiled` opens with
+  ``mmap_mode="r"``, so a cold serving worker maps the snapshot pages
+  instead of decompressing ``arrays.npz`` and replaying the counts into
+  dicts.  Several workers on one host share the mapped pages.
 
 Loading validates before trusting: a wrong format version, a tampered
 or truncated arrays file, a catalog that no longer hashes to the
@@ -30,23 +36,37 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import shutil
+import warnings
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import SnapshotError, StaleSnapshotError
+from repro.exceptions import CatalogMismatchError, SnapshotError, StaleSnapshotError
 from repro.graph.typed_graph import TypedGraph
+from repro.index.compiled import CompiledVectors
 from repro.index.instance_index import InstanceIndex, MetagraphCounts
 from repro.index.transform import TRANSFORMS, Transform
 from repro.index.vectors import MetagraphVectors, decode_node_id, encode_node_id
 from repro.metagraph.catalog import MetagraphCatalog
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+# format 1 snapshots (no compiled sidecar) still load; the sidecar fast
+# path is simply unavailable for them
+SUPPORTED_FORMAT_VERSIONS = frozenset({1, FORMAT_VERSION})
 MANIFEST_FILE = "manifest.json"
 CATALOG_FILE = "catalog.json"
 ARRAYS_FILE = "arrays.npz"
+COMPILED_DIR = "compiled"
+
+# the CompiledVectors constructor arrays, in sidecar member order
+_COMPILED_MEMBERS = (
+    "node_indptr", "node_indices", "node_data",
+    "pair_indptr", "pair_indices", "pair_data",
+    "pair_ptr", "partner_pos", "entry_pair",
+)
 
 # fixed member timestamp (the zip epoch) so snapshot bytes never depend
 # on the wall clock
@@ -217,8 +237,12 @@ def save_index(
 
     catalog_json = catalog.to_json()
     npz_bytes = _deterministic_npz_bytes(arrays)
+    compiled_members, compiled_staging = _stage_compiled_sidecar(
+        target, vectors, nodes
+    )
     manifest = {
         "format_version": FORMAT_VERSION,
+        "compiled_arrays": compiled_members,
         "catalog_size": vectors.catalog_size,
         "anchor_type": vectors.anchor_type,
         "transform": _transform_name(vectors.transform),
@@ -243,7 +267,77 @@ def save_index(
     (target / MANIFEST_FILE).write_text(
         json.dumps(manifest, sort_keys=True, indent=1), encoding="utf-8"
     )
+    _install_compiled_sidecar(target, compiled_staging)
     return target
+
+
+def _member_filename(name: str, sha256: str) -> str:
+    """Sidecar member filename, suffixed with its content digest.
+
+    The digest in the *name* is what makes a stale sidecar detectable
+    without hashing on the mmap fast path: after an interrupted re-save
+    (manifest and ``compiled/`` from different builds, possibly with
+    identical byte sizes) the manifest's recorded digest resolves to a
+    filename that does not exist, and loading falls back to compiling
+    from the fully-verified counts instead of silently serving the
+    wrong build's arrays.
+    """
+    return f"{name}-{sha256[:12]}.npy"
+
+
+def _stage_compiled_sidecar(
+    target: Path, vectors: MetagraphVectors, nodes: list
+) -> tuple[dict, Path]:
+    """Write the format-v2 mmap sidecar into a staging directory.
+
+    Each :class:`CompiledVectors` array becomes one raw ``.npy`` file
+    (``np.save``'s layout pads the header to a 64-byte boundary, so the
+    data region is alignment-friendly for mmap) named by
+    :func:`_member_filename`.  The returned manifest record carries
+    per-member byte sizes (checked cheaply on every mmap load) and
+    sha256 digests (part of the filename; hashed in full on verifying
+    loads).  Members are staged next to the final ``compiled/``
+    directory and swapped in by :func:`_install_compiled_sidecar` only
+    after the manifest is on disk, so a crash mid-save never leaves a
+    half-written sidecar as the directory's only copy.
+    """
+    had_snapshot = vectors._compiled is not None
+    compiled = vectors.compile()
+    if list(compiled.nodes) != nodes:
+        # cannot happen for a consistent store (a pair member without a
+        # node row fails compile() first), but never let a divergent
+        # sidecar attach count rows to the wrong node ids
+        raise SnapshotError(
+            "compiled snapshot universe does not match the count arrays"
+        )
+    staging = target / (COMPILED_DIR + ".staging")
+    shutil.rmtree(staging, ignore_errors=True)
+    staging.mkdir()
+    members: dict[str, dict] = {}
+    for name in _COMPILED_MEMBERS:
+        buffer = io.BytesIO()
+        np.lib.format.write_array(
+            buffer,
+            np.ascontiguousarray(getattr(compiled, name)),
+            allow_pickle=False,
+        )
+        payload = buffer.getvalue()
+        digest = _sha256(payload)
+        (staging / _member_filename(name, digest)).write_bytes(payload)
+        members[name] = {"bytes": len(payload), "sha256": digest}
+    if not had_snapshot:
+        # the store was serving scalar (compile_serving=False): don't
+        # let writing a snapshot pin the CSR arrays in memory for the
+        # engine's lifetime
+        vectors._compiled = None
+    return members, staging
+
+
+def _install_compiled_sidecar(target: Path, staging: Path) -> None:
+    """Swap the staged sidecar into place as ``compiled/``."""
+    final = target / COMPILED_DIR
+    shutil.rmtree(final, ignore_errors=True)
+    staging.rename(final)
 
 
 # ----------------------------------------------------------------------
@@ -258,6 +352,9 @@ class LoadedIndex:
     models: dict[str, np.ndarray]
     manifest: dict
     instance_totals: dict[int, int]
+    # the mmap-loaded serving snapshot when the snapshot carries a
+    # format-v2 sidecar (None for v1 snapshots or mmap=False loads)
+    compiled: CompiledVectors | None = None
 
     def instance_index(self) -> InstanceIndex:
         """Reconstruct the per-metagraph :class:`InstanceIndex`.
@@ -295,10 +392,11 @@ def read_manifest(path: str | Path) -> dict:
     except (ValueError, UnicodeDecodeError) as exc:
         raise SnapshotError(f"unreadable snapshot manifest: {exc}") from exc
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_FORMAT_VERSIONS:
         raise SnapshotError(
             f"snapshot format version {version!r} is not supported "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions "
+            f"{sorted(SUPPORTED_FORMAT_VERSIONS)})"
         )
     if manifest.get("manifest_sha256") != _manifest_digest(manifest):
         raise SnapshotError(
@@ -308,10 +406,94 @@ def read_manifest(path: str | Path) -> dict:
     return manifest
 
 
+def load_compiled(
+    path: str | Path,
+    manifest: dict | None = None,
+    mmap: bool = True,
+) -> CompiledVectors:
+    """Open a snapshot's format-v2 sidecar as a serving-ready backend.
+
+    This is the cold-start fast path: with ``mmap=True`` (default) the
+    CSR arrays are memory-mapped read-only — no decompression, no dict
+    replay, near-zero copy — and only per-member file sizes are checked
+    (mapped pages cannot be hashed without reading them all, which
+    would defeat the point).  ``mmap=False`` reads the members into
+    memory and verifies their sha256 digests against the manifest; use
+    it when integrity matters more than start-up latency.
+
+    The returned snapshot carries the transform the snapshot was saved
+    with, already applied.  Raises :class:`SnapshotError` for v1
+    snapshots (no sidecar) and for missing, resized, or (verifying
+    loads) corrupted members.
+    """
+    source = Path(path)
+    if manifest is None:
+        manifest = read_manifest(source)
+    members = manifest.get("compiled_arrays")
+    if not members:
+        raise SnapshotError(
+            f"snapshot at {source!s} has no compiled sidecar (format "
+            f"version {manifest.get('format_version')!r}); re-save it to "
+            "enable mmap serving"
+        )
+    arrays: dict[str, np.ndarray] = {}
+    for name in _COMPILED_MEMBERS:
+        recorded = members.get(name)
+        if recorded is None:
+            raise SnapshotError(f"snapshot sidecar is missing member {name}")
+        filename = _member_filename(name, recorded["sha256"])
+        member_path = source / COMPILED_DIR / filename
+        if not member_path.is_file():
+            # also the interrupted-re-save signature: a manifest and a
+            # sidecar from different builds never agree on the
+            # digest-suffixed filenames
+            raise SnapshotError(f"snapshot sidecar is missing {filename}")
+        size = member_path.stat().st_size
+        if size != recorded["bytes"]:
+            raise SnapshotError(
+                f"snapshot sidecar member {filename} is {size} bytes, "
+                f"manifest records {recorded['bytes']} (corrupt or "
+                "tampered snapshot)"
+            )
+        if not mmap:
+            payload = member_path.read_bytes()
+            if _sha256(payload) != recorded["sha256"]:
+                raise SnapshotError(
+                    f"snapshot sidecar member {filename} does not match "
+                    "the manifest digest (corrupt or tampered snapshot)"
+                )
+        try:
+            arrays[name] = np.load(
+                member_path,
+                mmap_mode="r" if mmap else None,
+                allow_pickle=False,
+            )
+        except (ValueError, OSError) as exc:
+            raise SnapshotError(
+                f"unreadable snapshot sidecar member {filename}: {exc}"
+            ) from exc
+    nodes = tuple(decode_node_id(doc) for doc in manifest["nodes"])
+    try:
+        return CompiledVectors(
+            nodes,
+            (arrays["node_indptr"], arrays["node_indices"], arrays["node_data"]),
+            (arrays["pair_indptr"], arrays["pair_indices"], arrays["pair_data"]),
+            arrays["pair_ptr"],
+            arrays["partner_pos"],
+            arrays["entry_pair"],
+            catalog_size=manifest["catalog_size"],
+        )
+    except (ValueError, IndexError, CatalogMismatchError) as exc:
+        raise SnapshotError(
+            f"snapshot sidecar arrays are inconsistent: {exc}"
+        ) from exc
+
+
 def load_index(
     path: str | Path,
     graph: TypedGraph | None = None,
     transform: Transform | None = None,
+    mmap: bool = True,
 ) -> LoadedIndex:
     """Validate and restore a snapshot written by :func:`save_index`.
 
@@ -319,6 +501,13 @@ def load_index(
     was built on (:class:`StaleSnapshotError` otherwise).  ``transform``
     overrides the manifest's named transform; it is required when the
     snapshot was built with a custom (unnamed) one.
+
+    With ``mmap=True`` (default) a format-v2 compiled sidecar is opened
+    memory-mapped and returned as :attr:`LoadedIndex.compiled`, letting
+    serving adopt it instead of re-freezing the counts.  The sidecar is
+    only trusted when the manifest names the transform being used — a
+    custom ``transform=`` override falls back to compiling from the raw
+    counts.
     """
     source = Path(path)
     manifest = read_manifest(source)
@@ -424,10 +613,32 @@ def load_index(
             )
         models[name] = weights
 
+    compiled = None
+    named = manifest.get("transform")
+    if (
+        mmap
+        and manifest.get("compiled_arrays")
+        and named is not None
+        and transform is TRANSFORMS.get(named)
+    ):
+        try:
+            compiled = load_compiled(source, manifest=manifest, mmap=True)
+        except SnapshotError as exc:
+            # the sidecar is derived data — the verified counts above
+            # remain the source of truth, so a missing or damaged
+            # sidecar (interrupted re-save, manual deletion) costs the
+            # fast path, not the snapshot
+            warnings.warn(
+                f"ignoring unusable compiled sidecar at {source!s} "
+                f"(serving will re-compile from the counts): {exc}",
+                stacklevel=2,
+            )
+
     return LoadedIndex(
         catalog=catalog,
         vectors=store,
         models=models,
         manifest=manifest,
         instance_totals=instance_totals,
+        compiled=compiled,
     )

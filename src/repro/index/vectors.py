@@ -242,6 +242,24 @@ class MetagraphVectors:
             )
         return self._compiled
 
+    def adopt_compiled(self, compiled: CompiledVectors) -> CompiledVectors:
+        """Install a pre-built snapshot (e.g. mmap-loaded) as current.
+
+        The cold-start counterpart of :meth:`compile`: a snapshot
+        restored straight from a format-v2 sidecar
+        (:func:`~repro.index.persist.load_compiled`) serves without the
+        CSR rebuild.  The caller vouches that the snapshot describes
+        this store's counts — snapshot loading does so via the manifest
+        digests.  Subsequent mutations invalidate it as usual.
+        """
+        if compiled.catalog_size != self.catalog_size:
+            raise CatalogMismatchError(
+                f"compiled snapshot over {compiled.catalog_size} metagraphs "
+                f"does not match catalog size {self.catalog_size}"
+            )
+        self._compiled = compiled
+        return compiled
+
     def is_current_snapshot(self, compiled: CompiledVectors) -> bool:
         """True iff ``compiled`` is this store's up-to-date snapshot.
 

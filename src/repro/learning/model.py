@@ -87,6 +87,45 @@ class SortedUniverse(tuple):
         return mask
 
 
+def pad_with_universe(
+    result: list[tuple[NodeId, float]],
+    query: NodeId,
+    universe: "SortedUniverse",
+    k: int | None,
+) -> list[tuple[NodeId, float]]:
+    """Fill the tail of a ranking with zero-proximity universe members.
+
+    Extends ``result`` in place (and returns it) with ``(node, 0.0)``
+    entries in the universe's repr order, skipping the query and the
+    already-ranked nodes, up to ``k`` total entries (unbounded when
+    ``k`` is None).  Shared by the compiled single-process path and the
+    sharded router so both produce bit-identical tails.
+    """
+    needed = None if k is None else k - len(result)
+    if needed is None or needed > 0:
+        ranked = {node for node, _score in result}
+        ranked.add(query)
+        filler = (
+            (node, 0.0) for node in universe if node not in ranked
+        )
+        if needed is None:
+            result.extend(filler)
+        else:
+            result.extend(itertools.islice(filler, needed))
+    return result
+
+
+def require_valid_k(k: int | None) -> None:
+    """Reject a negative result budget loudly.
+
+    ``k=None`` means the full ranking and ``k=0`` a legitimately empty
+    one; a negative ``k`` is always a caller bug, and silently
+    returning ``[]`` for it hides the mistake.
+    """
+    if k is not None and k < 0:
+        raise ValueError(f"k must be None or >= 0, got {k}")
+
+
 def _descending_order(scores: np.ndarray, k: int | None) -> np.ndarray:
     """Positions of the top-k scores, descending, stable within ties.
 
@@ -191,7 +230,11 @@ class ProximityModel:
         attached (see :meth:`compile`); both paths return identical
         rankings.  A snapshot made stale by new counts folded into the
         vector store is recompiled transparently.
+
+        ``k=0`` is a valid (empty) request; a negative ``k`` raises
+        :class:`ValueError` instead of silently returning ``[]``.
         """
+        require_valid_k(k)
         if self._compiled is not None:
             if not self.vectors.is_current_snapshot(self._compiled):
                 self.compile()
@@ -267,20 +310,7 @@ class ProximityModel:
         hit = np.flatnonzero(in_universe & (scores > 0.0))
         order = hit[_descending_order(scores[hit], k)]
         result = [(nodes[cand_pos[j]], float(scores[j])) for j in order]
-        # pad with zero-proximity universe members in repr order; the
-        # positively-scored candidates above are the only exclusions
-        needed = None if k is None else k - len(result)
-        if needed is None or needed > 0:
-            ranked = {node for node, _score in result}
-            ranked.add(query)
-            filler = (
-                (node, 0.0) for node in universe if node not in ranked
-            )
-            if needed is None:
-                result.extend(filler)
-            else:
-                result.extend(itertools.islice(filler, needed))
-        return result
+        return pad_with_universe(result, query, universe, k)
 
     def explain(
         self, x: NodeId, y: NodeId, k: int = 5

@@ -18,6 +18,13 @@ Serving is compiled by default: ``prepare()`` freezes the counts into
 the CSR backend (:meth:`MetagraphVectors.compile`), every fitted model
 scores against it, and the sorted anchor universe is computed once and
 reused by ``query``/``query_many`` instead of being re-sorted per call.
+With ``shards=K`` the compiled universe is partitioned into K
+node-range shards and batches fan out over ``serving_workers`` router
+workers (:mod:`repro.serving`) — rankings stay bit-identical to the
+single-process path.  Queries are validated before scoring: a node
+that is absent from the graph, or not of the anchor type, raises
+:class:`~repro.exceptions.QueryError` instead of silently ranking as
+all zeros.
 
 The offline phase is restartable: ``prepare(cache_dir=...)`` reuses a
 valid on-disk snapshot (and persists a fresh build), ``save_index()``
@@ -45,6 +52,8 @@ from pathlib import Path
 
 from repro.exceptions import LearningError, SnapshotError, StaleIndexError
 from repro.graph.typed_graph import NodeId, TypedGraph
+from repro.serving.router import QueryRouter, ShardedVectors
+from repro.serving.validation import validate_query_node
 from repro.index.delta import DeltaStats, GraphDelta, GraphEdit, apply_delta
 from repro.index.instance_index import InstanceIndex
 from repro.index.parallel import IndexBuildConfig, build_index
@@ -58,7 +67,7 @@ from repro.index.persist import (
 from repro.index.transform import TRANSFORMS, Transform, identity
 from repro.index.vectors import MetagraphVectors, build_vectors
 from repro.learning.examples import generate_triplets
-from repro.learning.model import ProximityModel, SortedUniverse
+from repro.learning.model import ProximityModel, SortedUniverse, require_valid_k
 from repro.learning.objective import Triplet
 from repro.learning.trainer import Trainer, TrainerConfig
 from repro.metagraph.catalog import MetagraphCatalog
@@ -85,6 +94,15 @@ class SemanticProximitySearch:
         Compile the online phase after ``prepare()`` (default).  Turn
         off to serve through the scalar reference path, e.g. when
         memory for the CSR snapshot is tighter than latency.
+    shards:
+        Partition the compiled universe into this many node-range
+        shards (:mod:`repro.serving`) and serve ``query``/``query_many``
+        through the shard router.  ``1`` (default) keeps the
+        single-process compiled path; any value produces bit-identical
+        rankings.  Requires ``compile_serving``.
+    serving_workers:
+        Worker threads the shard router fans a query batch out over
+        (only meaningful with ``shards > 1``).
     """
 
     def __init__(
@@ -95,13 +113,29 @@ class SemanticProximitySearch:
         trainer_config: TrainerConfig | None = None,
         transform: Transform = identity,
         compile_serving: bool = True,
+        shards: int = 1,
+        serving_workers: int = 1,
     ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if serving_workers < 1:
+            raise ValueError(
+                f"serving_workers must be >= 1, got {serving_workers}"
+            )
+        if shards > 1 and not compile_serving:
+            raise ValueError(
+                "sharded serving slices the compiled CSR snapshot; it "
+                "requires compile_serving=True"
+            )
         self.graph = graph
         self.anchor_type = anchor_type
         self.miner_config = miner_config or MinerConfig()
         self.trainer_config = trainer_config or TrainerConfig()
         self.transform = transform
         self.compile_serving = compile_serving
+        self.shards = shards
+        self.serving_workers = serving_workers
+        self._router: QueryRouter | None = None
         self.catalog: MetagraphCatalog | None = None
         self.vectors: MetagraphVectors | None = None
         self.index: InstanceIndex | None = None
@@ -239,7 +273,12 @@ class SemanticProximitySearch:
         self._index_graph_version = self.graph.version
         self._update_log = list(loaded.manifest.get("update_log", []))
         if self.compile_serving:
-            self.vectors.compile()
+            if loaded.compiled is not None:
+                # format-v2 sidecar: the snapshot arrives mmap-loaded,
+                # so serving starts without re-freezing the counts
+                self.vectors.adopt_compiled(loaded.compiled)
+            else:
+                self.vectors.compile()
         for name, weights in loaded.models.items():
             model = ProximityModel(weights, self.vectors, name=name)
             if self.compile_serving:
@@ -289,6 +328,9 @@ class SemanticProximitySearch:
         trainer_config: TrainerConfig | None = None,
         transform: Transform | None = None,
         compile_serving: bool = True,
+        shards: int = 1,
+        serving_workers: int = 1,
+        mmap: bool = True,
     ) -> "SemanticProximitySearch":
         """Cold-start an engine from a snapshot: no mining, no matching.
 
@@ -296,14 +338,23 @@ class SemanticProximitySearch:
         by fingerprint).  Restored classes serve immediately;
         ``transform`` is only needed when the snapshot was built with a
         custom (unnamed) count transform.
+
+        With ``mmap=True`` (default) a format-v2 snapshot's compiled
+        sidecar is memory-mapped and adopted as the serving backend —
+        near-zero copy, shared between worker processes on one host —
+        instead of re-freezing the counts.  ``shards``/
+        ``serving_workers`` configure the sharded serving tier exactly
+        as in the constructor.
         """
-        loaded = load_index(path, graph=graph, transform=transform)
+        loaded = load_index(path, graph=graph, transform=transform, mmap=mmap)
         engine = cls(
             graph,
             anchor_type=loaded.vectors.anchor_type,
             trainer_config=trainer_config,
             transform=loaded.vectors.transform,
             compile_serving=compile_serving,
+            shards=shards,
+            serving_workers=serving_workers,
         )
         engine._install_loaded(loaded)
         return engine
@@ -448,6 +499,30 @@ class SemanticProximitySearch:
     # ------------------------------------------------------------------
     # online phase
     # ------------------------------------------------------------------
+    def _validate_query_node(self, node: NodeId, role: str = "query") -> None:
+        """Reject nodes the online phase cannot rank (QueryError)."""
+        validate_query_node(self.graph, node, self.anchor_type, role=role)
+
+    def _serving_router(self, model: ProximityModel) -> QueryRouter:
+        """The shard router over the *current* compiled snapshot.
+
+        Re-partitions lazily whenever the snapshot changed (new counts
+        folded in, :meth:`apply_updates`, re-``prepare()``) and keeps
+        the model's dot products in lock-step, mirroring
+        :meth:`ProximityModel.rank`'s transparent recompile.
+        """
+        compiled = self.vectors.compile()
+        if model.compiled is not compiled:
+            model.compile(compiled)
+        if self._router is None or self._router.sharded.source is not compiled:
+            if self._router is not None:
+                self._router.close()
+            self._router = QueryRouter(
+                ShardedVectors.partition(compiled, self.shards),
+                workers=self.serving_workers,
+            )
+        return self._router
+
     def query(
         self, class_name: str, query: NodeId, k: int | None = 10
     ) -> list[tuple[NodeId, float]]:
@@ -456,9 +531,20 @@ class SemanticProximitySearch:
         Raises :class:`~repro.exceptions.StaleIndexError` when the graph
         mutated without a matching :meth:`apply_updates` — the counts no
         longer describe the graph, so serving would be silently wrong.
+        Raises :class:`~repro.exceptions.QueryError` when ``query`` is
+        not an anchor-typed node of the graph (the paper's online phase
+        is undefined there, and an all-zero ranking would be served as a
+        confidently wrong answer), and :class:`ValueError` for a
+        negative ``k``.
         """
         self._require_fresh()
         model = self.model(class_name)
+        require_valid_k(k)
+        self._validate_query_node(query)
+        if self.shards > 1:
+            return self._serving_router(model).rank(
+                model, query, universe=self.universe(), k=k
+            )
         return model.rank(query, universe=self.universe(), k=k)
 
     def query_many(
@@ -472,26 +558,54 @@ class SemanticProximitySearch:
         Batched serving amortises everything shared across queries —
         the compiled CSR snapshot, the precomputed dot products and the
         sorted anchor universe — so each extra query costs only its own
-        candidate slice.
+        candidate slice.  With ``shards > 1`` the batch fans out across
+        the shard router's workers and merges bit-identically to the
+        single-process path.  The whole batch is validated before any
+        ranking: one unknown or off-anchor query fails the batch with
+        :class:`~repro.exceptions.QueryError`.
         """
         self._require_fresh()
         model = self.model(class_name)
+        require_valid_k(k)
+        queries = list(queries)  # validation + ranking both traverse it
+        for query in queries:
+            self._validate_query_node(query)
         universe = self.universe()
+        if self.shards > 1:
+            return self._serving_router(model).rank_many(
+                model, queries, universe=universe, k=k
+            )
         return [model.rank(q, universe=universe, k=k) for q in queries]
 
     def proximity(self, class_name: str, x: NodeId, y: NodeId) -> float:
-        """pi(x, y) under one class's learned weights."""
+        """pi(x, y) under one class's learned weights.
+
+        Both nodes must be anchor-typed nodes of the graph
+        (:class:`~repro.exceptions.QueryError` otherwise — a silent 0.0
+        for a typo'd node is indistinguishable from a true zero).
+        """
         self._require_fresh()
-        return self.model(class_name).proximity(x, y)
+        model = self.model(class_name)
+        self._validate_query_node(x, role="pair")
+        self._validate_query_node(y, role="pair")
+        return model.proximity(x, y)
 
     def explain(
         self, class_name: str, x: NodeId, y: NodeId, k: int = 5
     ) -> list[tuple[Metagraph, float]]:
-        """Top contributing metagraphs for a pair, as (metagraph, share)."""
+        """Top contributing metagraphs for a pair, as (metagraph, share).
+
+        Like :meth:`proximity`, raises
+        :class:`~repro.exceptions.QueryError` for unknown or
+        off-anchor nodes instead of returning an empty explanation.
+        """
         catalog, _vectors = self._require_fresh()
+        model = self.model(class_name)
+        self._validate_query_node(x, role="pair")
+        self._validate_query_node(y, role="pair")
         return [
             (catalog[mg_id], contribution)
-            for mg_id, contribution in self.model(class_name).explain(x, y, k=k)
+            for mg_id, contribution in model.explain(x, y, k=k)
         ]
 
     def __repr__(self) -> str:

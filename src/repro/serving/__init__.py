@@ -1,0 +1,29 @@
+"""Sharded serving tier: shard partitioning, query routing, validation.
+
+The single-process online phase lives in :mod:`repro.index.compiled`
+and :mod:`repro.learning.model`; this package layers the serving-scale
+pieces on top —
+
+- :func:`~repro.serving.shards.partition_compiled` /
+  :class:`~repro.serving.shards.CompiledShard`: node-range CSR slices
+  of a compiled snapshot, each self-contained;
+- :class:`~repro.serving.router.ShardedVectors` /
+  :class:`~repro.serving.router.QueryRouter`: multi-worker batch
+  routing with bit-identical merge;
+- :func:`~repro.serving.validation.validate_query_node`: the
+  :class:`~repro.exceptions.QueryError` guard every serving entry
+  point runs before scoring.
+"""
+
+from repro.serving.router import QueryRouter, ShardedVectors
+from repro.serving.shards import CompiledShard, partition_compiled, shard_ranges
+from repro.serving.validation import validate_query_node
+
+__all__ = [
+    "CompiledShard",
+    "QueryRouter",
+    "ShardedVectors",
+    "partition_compiled",
+    "shard_ranges",
+    "validate_query_node",
+]

@@ -1,0 +1,254 @@
+"""Multi-worker query router over a sharded compiled snapshot.
+
+The serving tier's fan-out/merge layer: :class:`ShardedVectors` holds
+the K node-range shards of one compiled snapshot, and
+:class:`QueryRouter` answers query batches against them —
+
+1. *route*: each query belongs to exactly one shard (the one owning its
+   universe position), because a node's candidate lists live with its
+   row;
+2. *fan out*: per-shard query groups are scored concurrently on a
+   thread pool (``workers``), each producing the query's positively
+   scored, in-universe top-k partial ranking;
+3. *merge*: partial rankings return to batch order and are padded with
+   zero-proximity universe members exactly like the single-process
+   compiled path (:func:`~repro.learning.model.pad_with_universe`), so
+   the merged output is bit-identical to the unsharded backend.
+
+Per-model state is two dot-product arrays per shard (the same O(nnz)
+passes as the unsharded backend, sliced), cached per
+(model, snapshot) — attaching a second class or re-routing after
+``apply_updates()`` never re-partitions more than it must.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.exceptions import LearningError
+from repro.graph.typed_graph import NodeId
+from repro.index.compiled import CompiledVectors
+from repro.learning.model import (
+    ProximityModel,
+    SortedUniverse,
+    _descending_order,
+    pad_with_universe,
+    require_valid_k,
+)
+from repro.serving.shards import CompiledShard, partition_compiled
+
+
+class ShardedVectors:
+    """K node-range shards over one compiled snapshot."""
+
+    def __init__(self, shards: Sequence[CompiledShard], source: CompiledVectors):
+        self.shards = list(shards)
+        self.source = source
+        # shard s owns global rows [bounds[s], bounds[s+1])
+        self._bounds = np.asarray(
+            [shard.lo for shard in self.shards] + [source.num_nodes],
+            dtype=np.int64,
+        )
+
+    @classmethod
+    def partition(
+        cls, compiled: CompiledVectors, num_shards: int
+    ) -> "ShardedVectors":
+        return cls(partition_compiled(compiled, num_shards), compiled)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def position(self, node: NodeId) -> int | None:
+        """Global universe row of a node (None if absent)."""
+        return self.source.position(node)
+
+    def shard_of(self, global_pos: int) -> CompiledShard:
+        index = int(np.searchsorted(self._bounds, global_pos, side="right")) - 1
+        return self.shards[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedVectors: {self.num_shards} shards over "
+            f"{self.source.num_nodes} nodes>"
+        )
+
+
+class QueryRouter:
+    """Fan query batches out across shard workers and merge the results."""
+
+    def __init__(self, sharded: ShardedVectors, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.sharded = sharded
+        self.workers = workers
+        self._executor: ThreadPoolExecutor | None = None
+        # per-model per-shard (node_dots, pair_dots); weak keys so a
+        # replaced model's entry dies with it instead of lingering (or,
+        # worse, being served to a new model that recycled its id)
+        self._dots: "weakref.WeakKeyDictionary[ProximityModel, list[tuple[np.ndarray, np.ndarray]]]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "QueryRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-shard",
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # per-model shard state
+    # ------------------------------------------------------------------
+    def _model_dots(
+        self, model: ProximityModel
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        if model.compiled is not self.sharded.source:
+            raise LearningError(
+                "model is not compiled against this router's snapshot; "
+                "rebuild the router (or recompile the model) after the "
+                "counts change"
+            )
+        dots = self._dots.get(model)
+        if dots is None:
+            dots = [
+                (
+                    shard.node_dot_products(model.weights),
+                    shard.pair_dot_products(model.weights),
+                )
+                for shard in self.sharded.shards
+            ]
+            self._dots[model] = dots
+        return dots
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def rank(
+        self,
+        model: ProximityModel,
+        query: NodeId,
+        universe: Iterable[NodeId] | None = None,
+        k: int | None = None,
+    ) -> list[tuple[NodeId, float]]:
+        """Rank one query through the sharded tier."""
+        return self.rank_many(model, [query], universe=universe, k=k)[0]
+
+    def rank_many(
+        self,
+        model: ProximityModel,
+        queries: Sequence[NodeId],
+        universe: Iterable[NodeId] | None = None,
+        k: int | None = None,
+    ) -> list[list[tuple[NodeId, float]]]:
+        """One ranking per query, bit-identical to the unsharded path."""
+        require_valid_k(k)
+        dots = self._model_dots(model)
+        if universe is not None and not isinstance(universe, SortedUniverse):
+            universe = SortedUniverse(universe)
+
+        # route: group batch slots by owning shard; absent nodes score
+        # as an empty candidate set, exactly like the unsharded path
+        groups: dict[int, list[tuple[int, NodeId, int]]] = {}
+        empty: list[tuple[int, NodeId]] = []
+        for slot, query in enumerate(queries):
+            pos = self.sharded.position(query)
+            if pos is None:
+                empty.append((slot, query))
+            else:
+                shard = self.sharded.shard_of(pos)
+                groups.setdefault(shard.shard_id, []).append((slot, query, pos))
+
+        results: list[list[tuple[NodeId, float]] | None] = [None] * len(queries)
+
+        def score_group(shard_id: int) -> None:
+            shard = self.sharded.shards[shard_id]
+            node_dots, pair_dots = dots[shard_id]
+            for slot, query, pos in groups[shard_id]:
+                results[slot] = _score_on_shard(
+                    shard, node_dots, pair_dots, query, pos, universe, k
+                )
+
+        if self.workers > 1 and len(groups) > 1:
+            pool = self._pool()
+            for future in [
+                pool.submit(score_group, shard_id) for shard_id in groups
+            ]:
+                future.result()
+        else:
+            for shard_id in groups:
+                score_group(shard_id)
+
+        for slot, query in empty:
+            if k is not None and k <= 0:
+                results[slot] = []
+            elif universe is None:
+                results[slot] = []
+            else:
+                results[slot] = pad_with_universe([], query, universe, k)
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryRouter: {self.sharded.num_shards} shards, "
+            f"{self.workers} workers>"
+        )
+
+
+def _score_on_shard(
+    shard: CompiledShard,
+    node_dots: np.ndarray,
+    pair_dots: np.ndarray,
+    query: NodeId,
+    global_pos: int,
+    universe: SortedUniverse | None,
+    k: int | None,
+) -> list[tuple[NodeId, float]]:
+    """Score one query on its owning shard — the unsharded math, sliced.
+
+    Mirrors ``ProximityModel._rank_compiled`` operation for operation
+    (same candidate order, same masked division, same stable top-k) so
+    scores and tie-breaks are bit-identical.
+    """
+    if k is not None and k <= 0:
+        return []
+    row = shard.local_row(global_pos)
+    cand, pair = shard.candidates_of(row)
+    keep = cand != row
+    cand, pair = cand[keep], pair[keep]
+    numerators = 2.0 * pair_dots[pair]
+    denominators = node_dots[row] + node_dots[cand]
+    scores = np.zeros(len(cand), dtype=np.float64)
+    positive = denominators > 0.0
+    scores[positive] = numerators[positive] / denominators[positive]
+
+    nodes = shard.nodes
+    if universe is None:
+        order = _descending_order(scores, k)
+        return [(nodes[cand[j]], float(scores[j])) for j in order]
+    in_universe = universe.mask_over(shard)[cand]
+    hit = np.flatnonzero(in_universe & (scores > 0.0))
+    order = hit[_descending_order(scores[hit], k)]
+    result = [(nodes[cand[j]], float(scores[j])) for j in order]
+    return pad_with_universe(result, query, universe, k)

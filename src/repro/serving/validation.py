@@ -1,0 +1,40 @@
+"""Query validation for the online phase.
+
+Sect. IV's online ranking is defined only for anchor-typed nodes of the
+indexed graph.  Anything else used to fall through to the all-zero
+scoring path and come back as a confidently wrong answer — an all-zero
+ranking, a 0.0 proximity, an empty explanation.  The serving entry
+points (facade, router, ``repro serve``) call
+:func:`validate_query_node` up front and surface
+:class:`~repro.exceptions.QueryError` instead.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+from repro.graph.typed_graph import NodeId, TypedGraph
+
+
+def validate_query_node(
+    graph: TypedGraph,
+    node: NodeId,
+    anchor_type: str,
+    role: str = "query",
+) -> None:
+    """Raise :class:`QueryError` unless ``node`` is an anchor of ``graph``.
+
+    ``role`` names the argument in the message (``"query"`` for ranking
+    entry points, ``"pair"`` for proximity/explain members).
+    """
+    if node not in graph:
+        raise QueryError(
+            f"{role} node {node!r} is not in graph {graph.name!r}; the "
+            f"online phase can only rank existing {anchor_type!r} nodes"
+        )
+    node_type = graph.node_type(node)
+    if node_type != anchor_type:
+        raise QueryError(
+            f"{role} node {node!r} has type {node_type!r}, but this index "
+            f"is anchored on {anchor_type!r} nodes; proximity is only "
+            f"defined between anchor nodes"
+        )

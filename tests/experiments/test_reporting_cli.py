@@ -154,7 +154,42 @@ class TestServe:
         from repro.cli import main
 
         assert main(["serve", "--quick", "--queries", "ghost"]) == 2
-        assert "unknown query node" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "cannot serve this batch" in err
+        assert "'ghost' is not in graph" in err
+
+    def test_serve_off_anchor_query_rejected(self, capsys):
+        from repro.cli import main
+
+        # college0 is a college node on the linkedin graph, not a 'user'
+        assert main(["serve", "--quick", "--queries", "college0"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot serve this batch" in err
+        assert "anchored on 'user'" in err
+
+    def test_serve_sharded_matches_unsharded_output(self, capsys):
+        from repro.cli import main
+
+        argv = ["serve", "--quick", "--num-queries", "3", "--k", "3"]
+        assert main(argv) == 0
+        unsharded = capsys.readouterr().out
+        assert main(argv + ["--shards", "3", "--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert "sharded (3 shards, 2 workers)" in sharded
+        # every ranking line must be identical to the unsharded run
+        assert [l for l in unsharded.splitlines() if l.startswith("  ")] == [
+            l for l in sharded.splitlines() if l.startswith("  ")
+        ]
+
+    def test_serve_sharded_flag_validation(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--quick", "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+        assert main(["serve", "--quick", "--shards", "2", "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+        assert main(["serve", "--quick", "--scalar", "--shards", "2"]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
 
     def test_serve_queries_stripped(self, capsys):
         from repro.cli import main

@@ -104,15 +104,22 @@ class TestParity:
             ("Bob", 0.0),
         ]
 
-    def test_negative_k_returns_empty_on_both_paths(self, toy_graph, toy_metagraphs):
+    def test_k_edge_cases_agree_on_both_paths(self, toy_graph, toy_metagraphs):
+        # k=0 is a legitimately empty request; a negative k is a caller
+        # bug and must raise instead of silently returning [] (both
+        # backends, same behaviour)
         catalog = MetagraphCatalog(toy_metagraphs.values(), anchor_type="user")
         vectors, _ = build_vectors(toy_graph, catalog)
         scalar_model = uniform_model(vectors)
         compiled_model = uniform_model(vectors).compile()
         users = ["Alice", "Bob", "Kate"]
-        for k in (-1, -5, 0):
-            assert scalar_model.rank("Kate", universe=users, k=k) == []
-            assert compiled_model.rank("Kate", universe=users, k=k) == []
+        assert scalar_model.rank("Kate", universe=users, k=0) == []
+        assert compiled_model.rank("Kate", universe=users, k=0) == []
+        for k in (-1, -5):
+            with pytest.raises(ValueError):
+                scalar_model.rank("Kate", universe=users, k=k)
+            with pytest.raises(ValueError):
+                compiled_model.rank("Kate", universe=users, k=k)
 
     def test_stale_snapshot_recompiled_after_new_counts(
         self, toy_graph, toy_metagraphs

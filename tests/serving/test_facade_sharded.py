@@ -1,0 +1,125 @@
+"""Sharded serving through the SemanticProximitySearch facade.
+
+Covers the facade wiring the shard suite cannot see: trained (not
+uniform) weights, router invalidation across ``apply_updates``, the
+re-``prepare()`` lifecycle, and snapshot restores with
+``shards``/``serving_workers``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SemanticProximitySearch
+from repro.datasets.toy import toy_dataset, toy_metagraphs
+from repro.index.delta import GraphDelta
+from repro.learning.trainer import TrainerConfig
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.mining import MinerConfig
+from tests.conftest import random_typed_graph
+from tests.serving.test_shards import synthetic_catalog
+
+SHARD_COUNTS = (1, 2, 3, 5, 16)
+
+
+def toy_engine(**kwargs) -> tuple[SemanticProximitySearch, object]:
+    ds = toy_dataset()
+    spx = SemanticProximitySearch(
+        ds.graph,
+        miner_config=MinerConfig(max_nodes=4, min_support=1),
+        trainer_config=TrainerConfig(restarts=2, max_iterations=300, seed=0),
+        **kwargs,
+    )
+    catalog = MetagraphCatalog(toy_metagraphs().values(), anchor_type="user")
+    spx.prepare(catalog=catalog)
+    return spx, ds
+
+
+class TestFacadeSharding:
+    def test_constructor_validation(self):
+        ds = toy_dataset()
+        with pytest.raises(ValueError):
+            SemanticProximitySearch(ds.graph, shards=0)
+        with pytest.raises(ValueError):
+            SemanticProximitySearch(ds.graph, serving_workers=0)
+        with pytest.raises(ValueError):
+            SemanticProximitySearch(ds.graph, shards=2, compile_serving=False)
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_trained_model_parity_on_toy(self, num_shards):
+        baseline, ds = toy_engine()
+        sharded, _ds = toy_engine(shards=num_shards, serving_workers=2)
+        labels = ds.class_labels("family")
+        baseline.fit("family", labels=labels, num_examples=40)
+        sharded.fit("family", labels=labels, num_examples=40)
+        queries = list(baseline.universe())
+        for k in (None, 0, 3):
+            assert sharded.query_many("family", queries, k=k) == (
+                baseline.query_many("family", queries, k=k)
+            )
+        for query in queries:
+            assert sharded.query("family", query, k=3) == baseline.query(
+                "family", query, k=3
+            )
+
+    @pytest.mark.parametrize("num_shards", (2, 5))
+    def test_parity_after_apply_updates(self, num_shards):
+        baseline, ds = toy_engine()
+        sharded, _ds = toy_engine(shards=num_shards, serving_workers=2)
+        labels = ds.class_labels("classmates")
+        baseline.fit("classmates", labels=labels, num_examples=40)
+        sharded.fit("classmates", labels=labels, num_examples=40)
+        delta = (
+            GraphDelta()
+            .add_node("Mia", "user")
+            .add_edge("Mia", "College A")
+            .add_edge("Mia", "Physics")
+            .remove_edge("Kate", "Music")
+        )
+        baseline.apply_updates(delta)
+        sharded.apply_updates(delta)
+        queries = list(baseline.universe())
+        assert "Mia" in queries
+        assert sharded.query_many("classmates", queries, k=4) == (
+            baseline.query_many("classmates", queries, k=4)
+        )
+
+    def test_router_rebuilt_after_updates(self):
+        sharded, ds = toy_engine(shards=3)
+        sharded.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        sharded.query_many("family", ["Bob"], k=2)
+        first = sharded._router
+        sharded.apply_updates(GraphDelta().remove_edge("Kate", "Music"))
+        sharded.query_many("family", ["Bob"], k=2)
+        assert sharded._router is not first
+        # and the rebuilt router serves the *current* snapshot
+        assert sharded._router.sharded.source is sharded.vectors.compile()
+
+    def test_router_survives_noop_updates(self):
+        sharded, ds = toy_engine(shards=3)
+        sharded.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        sharded.query_many("family", ["Bob"], k=2)
+        first = sharded._router
+        sharded.apply_updates(GraphDelta().add_edge("Kate", "Music"))  # no-op
+        sharded.query_many("family", ["Bob"], k=2)
+        assert sharded._router is first
+
+    @pytest.mark.parametrize("num_shards", (2, 4))
+    def test_synthetic_parity_via_snapshot_restore(self, tmp_path, num_shards):
+        graph = random_typed_graph(seed=11, num_users=25)
+        spx = SemanticProximitySearch(graph)
+        spx.prepare(catalog=synthetic_catalog())
+        spx.fit(
+            "circle",
+            triplets=[("u0", "u1", "u2"), ("u3", "u4", "u5")],
+        )
+        target = tmp_path / "snap"
+        spx.save_index(target)
+        flat = SemanticProximitySearch.from_index(target, graph)
+        sharded = SemanticProximitySearch.from_index(
+            target, graph, shards=num_shards, serving_workers=3
+        )
+        queries = list(flat.universe())
+        assert sharded.query_many("circle", queries, k=5) == flat.query_many(
+            "circle", queries, k=5
+        )
