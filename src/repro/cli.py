@@ -7,17 +7,25 @@ Usage::
     python -m repro all --quick
     python -m repro serve --quick --queries u1,u2 --k 5
     python -m repro serve --quick --shards 4 --workers 4
+    python -m repro serve --quick --shards 4 --backend process --replicas 2
+    python -m repro serve --quick --snapshot idx/ --mmap
     python -m repro index build --dataset linkedin --out idx/ --workers 4
     python -m repro index info idx/
     python -m repro index update idx/ --dataset linkedin --edits edits.json
+    python -m repro shard-worker --snapshot idx/ --shard 0 --num-shards 4 \
+        --socket /tmp/shard0.sock
 
 ``--quick`` switches to the tiny preset (minutes); the default ``small``
 scale is the one EXPERIMENTS.md records.  ``serve`` runs the online
-phase end to end — offline build, training, then batched ranking
-through the compiled scoring backend (``--scalar`` for the reference
-path) — and prints rankings plus throughput.  ``index build`` runs the
-offline phase (optionally on a worker pool) and persists a versioned
-snapshot; ``index info`` verifies and describes one.
+phase end to end — offline build (or ``--snapshot`` cold start,
+optionally ``--mmap``'d), training, then batched ranking through the
+compiled scoring backend (``--scalar`` for the reference path;
+``--backend process`` for supervised shard-worker processes) — and
+prints rankings plus throughput.  ``index build`` runs the offline
+phase (optionally on a worker pool) and persists a versioned snapshot;
+``index info`` verifies and describes one.  ``shard-worker`` is the
+standalone shard serving process the ``process`` backend supervises
+(usable by hand for multi-host topologies).
 """
 
 from __future__ import annotations
@@ -45,11 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*sorted(EXPERIMENTS), "all", "serve", "index"],
+        choices=[*sorted(EXPERIMENTS), "all", "serve", "index", "shard-worker"],
         help=(
             "which table/figure to regenerate ('all' runs everything; "
             "'serve' runs the online phase as a batched query service; "
-            "'index' manages snapshots — see `repro index --help`)"
+            "'index' manages snapshots — see `repro index --help`; "
+            "'shard-worker' serves one shard of a snapshot over a socket "
+            "— see `repro shard-worker --help`)"
         ),
     )
     parser.add_argument(
@@ -125,6 +135,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="router worker threads a query batch fans out over "
         "(default: 1; only meaningful with --shards > 1)",
     )
+    serve_arg(
+        "--backend",
+        choices=["thread", "process"],
+        help="where shard scoring runs: in this process ('thread', "
+        "default) or in supervised shard-worker processes that mmap "
+        "their slice from a snapshot and answer over the serving wire "
+        "protocol ('process'; rankings are bit-identical)",
+    )
+    serve_arg(
+        "--replicas",
+        type=int,
+        help="worker processes per shard with --backend process "
+        "(default: REPRO_SERVING_REPLICAS or 1); requests fail over "
+        "between replicas when a worker dies",
+    )
+    serve_arg(
+        "--snapshot",
+        help="serve from this index snapshot directory (cold start: no "
+        "mining or matching; classes the snapshot carries serve "
+        "immediately)",
+    )
+    serve_arg(
+        "--mmap",
+        action="store_true",
+        help="memory-map the --snapshot's compiled sidecar instead of "
+        "loading a copy (near-zero cold start; pages shared across "
+        "co-hosted processes)",
+    )
     parser.serve_only_options = serve_only
     return parser
 
@@ -156,7 +194,7 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     # the full offline build (classes are scale-independent)
     from repro.datasets import load_dataset
     from repro.exceptions import QueryError
-    from repro.serving import QueryRouter, ShardedVectors, validate_query_node
+    from repro.serving import QueryRouter, validate_query_node
 
     # resolve the None sentinels build_parser uses for serve-only flags
     dataset_name = args.dataset or "linkedin"
@@ -164,6 +202,7 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     top_k = 5 if args.k is None else args.k
     shards = 1 if args.shards is None else args.shards
     workers = 1 if args.workers is None else args.workers
+    backend_name = args.backend or "thread"
     if num_queries < 0:
         print(
             f"--num-queries must be >= 0, got {num_queries}",
@@ -186,6 +225,29 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.scalar and backend_name == "process":
+        print(
+            "--scalar serves the uncompiled reference path; it cannot be "
+            "combined with --backend process",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replicas is not None and backend_name != "process":
+        print(
+            "--replicas only applies with --backend process",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replicas is not None and args.replicas < 1:
+        print(f"--replicas must be >= 1, got {args.replicas}", file=sys.stderr)
+        return 2
+    if args.mmap and args.snapshot is None:
+        print(
+            "--mmap memory-maps a snapshot's compiled sidecar; it "
+            "requires --snapshot",
+            file=sys.stderr,
+        )
+        return 2
     classes = load_dataset(dataset_name, scale="tiny").classes
     class_name = args.class_name or classes[0]
     if class_name not in classes:
@@ -194,6 +256,18 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.snapshot is not None:
+        return _serve_from_snapshot(
+            args,
+            config,
+            dataset_name,
+            class_name,
+            num_queries=num_queries,
+            top_k=top_k,
+            shards=shards,
+            workers=workers,
+            backend_name=backend_name,
+        )
     runner = OfflineRunner(config)
     phase = runner.offline(dataset_name)
     dataset = phase.dataset
@@ -234,15 +308,45 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     model = ProximityModel(weights, phase.vectors, name=class_name)
     backend = "scalar"
     router = None
+    snapshot_tmp = None
     if not args.scalar:
         model.compile()
         backend = "compiled"
-    if shards > 1:
-        router = QueryRouter(
-            ShardedVectors.partition(phase.vectors.compile(), shards),
-            workers=workers,
-        )
-        backend = f"sharded ({shards} shards, {workers} workers)"
+    if shards > 1 or backend_name == "process":
+        if backend_name == "process":
+            # process workers mmap their slice from disk, so persist the
+            # just-built index into a run-scoped snapshot first
+            import tempfile
+            from pathlib import Path
+
+            from repro.index.persist import save_index
+            from repro.serving import SubprocessBackend
+
+            snapshot_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-serve-snapshot-"
+            )
+            snapshot_path = save_index(
+                Path(snapshot_tmp.name) / "snapshot",
+                phase.vectors,
+                phase.catalog,
+                graph=dataset.graph,
+                index=phase.index,
+            )
+            shard_backend = SubprocessBackend(
+                snapshot_path, shards, replicas=args.replicas
+            )
+            backend = (
+                f"sharded ({shards} shards, {workers} workers, "
+                f"{shard_backend.replicas} process replica(s)/shard)"
+            )
+        else:
+            from repro.serving import InProcessBackend, ShardedVectors
+
+            shard_backend = InProcessBackend(
+                ShardedVectors.partition(phase.vectors.compile(), shards)
+            )
+            backend = f"sharded ({shards} shards, {workers} workers)"
+        router = QueryRouter(shard_backend, workers=workers)
     start = time.perf_counter()
     try:
         if router is not None:
@@ -258,6 +362,8 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     finally:
         if router is not None:
             router.close()
+        if snapshot_tmp is not None:
+            snapshot_tmp.cleanup()
     elapsed = time.perf_counter() - start
     print(
         f"[serve] {dataset_name}/{class_name!r}: {len(queries)} queries, "
@@ -270,6 +376,123 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     print(
         f"[serve] ranked {len(queries)} queries in {elapsed * 1e3:.2f} ms "
         f"({per_query:.3f} ms/query, universe={len(universe)})"
+    )
+    return 0
+
+
+def _serve_from_snapshot(
+    args: argparse.Namespace,
+    config: ExperimentConfig,
+    dataset_name: str,
+    class_name: str,
+    *,
+    num_queries: int,
+    top_k: int,
+    shards: int,
+    workers: int,
+    backend_name: str,
+) -> int:
+    """``serve --snapshot``: cold-start the facade from a saved index.
+
+    No mining, no matching: the snapshot's counts (and, with ``--mmap``,
+    its memory-mapped compiled sidecar) back serving directly.  Classes
+    the snapshot carries serve as restored; a missing class is fitted
+    from the dataset's labels, exactly like the offline-build path.
+    """
+    from repro.datasets import load_dataset
+    from repro.exceptions import QueryError, SnapshotError
+    from repro.learning.trainer import TrainerConfig
+    from repro.search import SemanticProximitySearch
+    from repro.serving import validate_query_node
+
+    dataset = load_dataset(dataset_name, scale=config.scale)
+    if class_name not in dataset.classes:
+        print(
+            f"class {class_name!r} missing at scale {config.scale!r}; "
+            f"available: {list(dataset.classes)}",
+            file=sys.stderr,
+        )
+        return 2
+    mmap = bool(args.mmap)
+    trainer_config = TrainerConfig(
+        restarts=config.trainer_restarts,
+        max_iterations=config.trainer_max_iterations,
+        seed=config.seed,
+    )
+    try:
+        engine = SemanticProximitySearch.from_index(
+            args.snapshot,
+            dataset.graph,
+            trainer_config=trainer_config,
+            shards=shards,
+            serving_workers=workers,
+            serving_backend=backend_name,
+            replicas=args.replicas,
+            mmap=mmap,
+        )
+    except SnapshotError as exc:
+        print(
+            f"[serve] cannot serve from snapshot {args.snapshot}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        if args.queries is not None:
+            queries = [q.strip() for q in args.queries.split(",") if q.strip()]
+            if not queries:
+                print(
+                    f"--queries {args.queries!r} contains no query ids",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                for query in queries:
+                    validate_query_node(
+                        dataset.graph, query, dataset.anchor_type
+                    )
+            except QueryError as exc:
+                print(f"cannot serve this batch: {exc}", file=sys.stderr)
+                return 2
+        else:
+            queries = list(dataset.queries(class_name))[:num_queries]
+        restored = class_name in engine.classes
+        if not restored:
+            engine.fit(
+                class_name,
+                labels=dataset.class_labels(class_name),
+                num_examples=200,
+                seed=config.seed,
+            )
+        sidecar = "mmap" if mmap else "loaded"
+        if shards > 1 or backend_name == "process":
+            backend = (
+                f"sharded ({shards} shards, {workers} workers, "
+                f"{backend_name}) over {sidecar} snapshot"
+            )
+        else:
+            backend = f"compiled over {sidecar} snapshot"
+        start = time.perf_counter()
+        try:
+            rankings = engine.query_many(class_name, queries, k=top_k)
+        except QueryError as exc:
+            print(f"cannot serve this batch: {exc}", file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - start
+        universe_size = len(engine.universe())
+    finally:
+        engine.close()
+    print(
+        f"[serve] {dataset_name}/{class_name!r}: {len(queries)} queries, "
+        f"{backend} backend, k={top_k} "
+        f"(class {'restored from snapshot' if restored else 'fitted'})"
+    )
+    for query, ranking in zip(queries, rankings):
+        shown = ", ".join(f"{node} ({score:.3f})" for node, score in ranking)
+        print(f"  {query} -> {shown or '(no results)'}")
+    per_query = elapsed / max(len(queries), 1) * 1e3
+    print(
+        f"[serve] ranked {len(queries)} queries in {elapsed * 1e3:.2f} ms "
+        f"({per_query:.3f} ms/query, universe={universe_size})"
     )
     return 0
 
@@ -597,14 +820,21 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "index":
         return run_index(argv[1:])
+    if argv and argv[0] == "shard-worker":
+        # lean import path: the worker process must not pay for the
+        # experiments stack it never uses
+        from repro.serving.worker import main as worker_main
+
+        return worker_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.experiment == "index":
+    if args.experiment in ("index", "shard-worker"):
         # reachable when flags precede the command ("--quick index"):
-        # the index family has its own parser and flag set
+        # these families have their own parsers and flag sets
         print(
-            "the 'index' command takes its own options; invoke it as "
-            "`repro index build|info ...` with nothing before it",
+            f"the {args.experiment!r} command takes its own options; "
+            f"invoke it as `repro {args.experiment} ...` with nothing "
+            "before it",
             file=sys.stderr,
         )
         return 2

@@ -72,6 +72,17 @@ class QueryError(ReproError, ValueError):
     """
 
 
+class ServingError(ReproError, RuntimeError):
+    """The serving tier could not complete a request.
+
+    Raised by the process-worker backend when a shard's replicas are
+    all unreachable within the request deadline, when a worker speaks
+    an unexpected protocol frame, or when the supervisor cannot start
+    a worker.  Distinct from :class:`QueryError`: the *query* is fine,
+    the *fleet* is not — retrying against a healthy fleet succeeds.
+    """
+
+
 class TrainingDataError(LearningError, ValueError):
     """Training examples are empty, malformed, or inconsistent."""
 

@@ -489,6 +489,35 @@ def load_compiled(
         ) from exc
 
 
+def load_compiled_shard(
+    path: str | Path,
+    shard_id: int,
+    num_shards: int,
+    manifest: dict | None = None,
+    mmap: bool = True,
+):
+    """Open one node-range shard of a snapshot's format-v2 sidecar.
+
+    The standalone shard worker's cold-start path: the sidecar arrays
+    are opened ``mmap_mode="r"`` (validated exactly like
+    :func:`load_compiled`) and only shard ``shard_id``'s row range —
+    plus the halo of partner rows its candidate lists reference — is
+    gathered out of the mapping, so a worker's resident memory scales
+    with its slice, not the universe.  The returned
+    :class:`~repro.serving.shards.CompiledShard` is array-identical to
+    the corresponding element of
+    :func:`~repro.serving.shards.partition_compiled` over the same
+    snapshot, which is what keeps process-sharded rankings bit-identical
+    to the in-process router.
+    """
+    # lazy import: repro.serving imports this module for its own
+    # cold-start path
+    from repro.serving.shards import extract_shard
+
+    compiled = load_compiled(path, manifest=manifest, mmap=mmap)
+    return extract_shard(compiled, shard_id, num_shards)
+
+
 def load_index(
     path: str | Path,
     graph: TypedGraph | None = None,

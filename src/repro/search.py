@@ -46,12 +46,18 @@ answering from desynchronised counts.
 
 from __future__ import annotations
 
+import tempfile
 import warnings
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 
 from repro.exceptions import LearningError, SnapshotError, StaleIndexError
 from repro.graph.typed_graph import NodeId, TypedGraph
+from repro.serving.backend import (
+    InProcessBackend,
+    ShardBackend,
+    SubprocessBackend,
+)
 from repro.serving.router import QueryRouter, ShardedVectors
 from repro.serving.validation import validate_query_node
 from repro.index.delta import DeltaStats, GraphDelta, GraphEdit, apply_delta
@@ -103,6 +109,16 @@ class SemanticProximitySearch:
     serving_workers:
         Worker threads the shard router fans a query batch out over
         (only meaningful with ``shards > 1``).
+    serving_backend:
+        Where shard scoring runs: ``"thread"`` (default) keeps every
+        shard in this process; ``"process"`` supervises standalone
+        shard-worker processes that mmap their slice from a format-v2
+        snapshot and answer over the serving wire protocol — rankings
+        stay bit-identical.  Requires ``compile_serving``.
+    replicas:
+        Worker processes per shard with ``serving_backend="process"``
+        (default: ``REPRO_SERVING_REPLICAS`` or 1); a shard request
+        fails over to the next replica when a worker dies.
     """
 
     def __init__(
@@ -115,6 +131,8 @@ class SemanticProximitySearch:
         compile_serving: bool = True,
         shards: int = 1,
         serving_workers: int = 1,
+        serving_backend: str = "thread",
+        replicas: int | None = None,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -122,10 +140,20 @@ class SemanticProximitySearch:
             raise ValueError(
                 f"serving_workers must be >= 1, got {serving_workers}"
             )
+        if serving_backend not in ("thread", "process"):
+            raise ValueError(
+                f"serving_backend must be 'thread' or 'process', got "
+                f"{serving_backend!r}"
+            )
         if shards > 1 and not compile_serving:
             raise ValueError(
                 "sharded serving slices the compiled CSR snapshot; it "
                 "requires compile_serving=True"
+            )
+        if serving_backend == "process" and not compile_serving:
+            raise ValueError(
+                "process workers mmap the compiled CSR snapshot; "
+                "serving_backend='process' requires compile_serving=True"
             )
         self.graph = graph
         self.anchor_type = anchor_type
@@ -135,7 +163,19 @@ class SemanticProximitySearch:
         self.compile_serving = compile_serving
         self.shards = shards
         self.serving_workers = serving_workers
+        self.serving_backend = serving_backend
+        self.replicas = replicas
         self._router: QueryRouter | None = None
+        # the compiled snapshot the router's backend was built over —
+        # a change triggers a zero-downtime swap on the next query
+        self._router_compiled = None
+        # latest on-disk snapshot of the current compiled counts (the
+        # process backend's workers mmap it); _snapshot_compiled pins
+        # which CompiledVectors the path corresponds to
+        self._snapshot_path: Path | None = None
+        self._snapshot_compiled = None
+        self._snapshots_tmp: tempfile.TemporaryDirectory | None = None
+        self._snapshot_seq = 0
         self.catalog: MetagraphCatalog | None = None
         self.vectors: MetagraphVectors | None = None
         self.index: InstanceIndex | None = None
@@ -230,6 +270,9 @@ class SemanticProximitySearch:
         )
         if self.compile_serving:
             self.vectors.compile()
+        # the old router serves the replaced snapshot: close it (and any
+        # worker processes it supervises) before it can leak
+        self._close_router()
         self._universe = None
         self._models.clear()
         self._index_graph_version = self.graph.version
@@ -258,6 +301,7 @@ class SemanticProximitySearch:
 
     def _install_loaded(self, loaded: LoadedIndex) -> None:
         """Adopt a loaded snapshot as this engine's offline artefacts."""
+        self._close_router()
         self.catalog = loaded.catalog
         self.vectors = loaded.vectors
         self._catalog_from_mining = (
@@ -309,7 +353,7 @@ class SemanticProximitySearch:
             if self._catalog_from_mining
             else None
         )
-        return save_index(
+        target = save_index(
             path,
             vectors,
             catalog,
@@ -319,6 +363,11 @@ class SemanticProximitySearch:
             extra=extra,
             update_log=self._update_log,
         )
+        # the freshest on-disk copy of the current counts: process
+        # shard workers mmap their slice from here
+        self._snapshot_path = target
+        self._snapshot_compiled = vectors._compiled
+        return target
 
     @classmethod
     def from_index(
@@ -330,6 +379,8 @@ class SemanticProximitySearch:
         compile_serving: bool = True,
         shards: int = 1,
         serving_workers: int = 1,
+        serving_backend: str = "thread",
+        replicas: int | None = None,
         mmap: bool = True,
     ) -> "SemanticProximitySearch":
         """Cold-start an engine from a snapshot: no mining, no matching.
@@ -343,8 +394,10 @@ class SemanticProximitySearch:
         sidecar is memory-mapped and adopted as the serving backend —
         near-zero copy, shared between worker processes on one host —
         instead of re-freezing the counts.  ``shards``/
-        ``serving_workers`` configure the sharded serving tier exactly
-        as in the constructor.
+        ``serving_workers``/``serving_backend``/``replicas`` configure
+        the sharded serving tier exactly as in the constructor; with
+        ``serving_backend="process"`` the shard workers mmap this very
+        snapshot, no re-save needed.
         """
         loaded = load_index(path, graph=graph, transform=transform, mmap=mmap)
         engine = cls(
@@ -355,8 +408,14 @@ class SemanticProximitySearch:
             compile_serving=compile_serving,
             shards=shards,
             serving_workers=serving_workers,
+            serving_backend=serving_backend,
+            replicas=replicas,
         )
         engine._install_loaded(loaded)
+        if loaded.compiled is not None and compile_serving:
+            # process workers can mmap the very snapshot we loaded from
+            engine._snapshot_path = Path(path)
+            engine._snapshot_compiled = engine.vectors._compiled
         return engine
 
     def universe(self) -> SortedUniverse:
@@ -503,24 +562,120 @@ class SemanticProximitySearch:
         """Reject nodes the online phase cannot rank (QueryError)."""
         validate_query_node(self.graph, node, self.anchor_type, role=role)
 
+    @property
+    def _routed(self) -> bool:
+        """Whether ``query``/``query_many`` go through the shard router."""
+        return self.compile_serving and (
+            self.shards > 1 or self.serving_backend == "process"
+        )
+
+    def _close_router(self) -> None:
+        """Tear the serving tier down (thread pools, worker processes)."""
+        if self._router is not None:
+            router, self._router = self._router, None
+            self._router_compiled = None
+            router.close()
+
+    def close(self) -> None:
+        """Release serving resources: router, workers, owned snapshots.
+
+        Idempotent; the engine stays usable (the serving tier rebuilds
+        lazily on the next query).  Also available as a context
+        manager: ``with SemanticProximitySearch(...) as engine: ...``.
+        """
+        self._close_router()
+        if self._snapshots_tmp is not None:
+            tmp, self._snapshots_tmp = self._snapshots_tmp, None
+            self._snapshot_seq = 0
+            if self._snapshot_path is not None and self._snapshot_path.is_relative_to(
+                Path(tmp.name)
+            ):
+                self._snapshot_path = None
+                self._snapshot_compiled = None
+            tmp.cleanup()
+
+    def __enter__(self) -> "SemanticProximitySearch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _process_snapshot(self, compiled) -> Path:
+        """An on-disk format-v2 snapshot of ``compiled``, saving if needed.
+
+        Process shard workers mmap their slice from disk, so serving a
+        snapshot that only exists in memory (fresh ``prepare()``, or
+        counts patched by :meth:`apply_updates`) first persists it into
+        an engine-owned temporary directory, one versioned subdirectory
+        per snapshot generation.  A user-supplied snapshot
+        (:meth:`from_index` / :meth:`save_index`) is mmapped where it
+        lies and never rewritten.
+        """
+        if (
+            self._snapshot_path is not None
+            and self._snapshot_compiled is compiled
+        ):
+            return self._snapshot_path
+        if self._snapshots_tmp is None:
+            self._snapshots_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-engine-snapshots-"
+            )
+        self._snapshot_seq += 1
+        path = Path(self._snapshots_tmp.name) / f"v{self._snapshot_seq}"
+        self.save_index(path)
+        return path
+
+    def _build_backend(self, compiled) -> ShardBackend:
+        """A fresh, not-yet-started backend over one compiled snapshot."""
+        if self.serving_backend == "process":
+            return SubprocessBackend(
+                self._process_snapshot(compiled),
+                self.shards,
+                replicas=self.replicas,
+            )
+        return InProcessBackend(ShardedVectors.partition(compiled, self.shards))
+
+    def refresh_serving(self) -> None:
+        """Rebuild the serving tier over the current snapshot, zero-downtime.
+
+        The explicit swap hook: a new backend (fresh shard partitions;
+        with ``serving_backend="process"``, a fresh worker fleet) warms
+        while the old one keeps serving, new batches move over
+        atomically, and the old backend drains its in-flight batches
+        before closing.  ``query``/``query_many`` trigger the same swap
+        lazily whenever the compiled snapshot changed; call this to
+        force one — e.g. to re-point workers at a just-saved snapshot
+        or pick up new ``REPRO_SERVING_*`` knobs.
+        """
+        if not self._routed:
+            return
+        _catalog, vectors = self._require_fresh()
+        compiled = vectors.compile()
+        for model in self._models.values():
+            if model.compiled is not compiled:
+                model.compile(compiled)
+        backend = self._build_backend(compiled)
+        if self._router is None:
+            self._router = QueryRouter(backend, workers=self.serving_workers)
+        else:
+            self._router.swap(backend)
+        self._router_compiled = compiled
+
     def _serving_router(self, model: ProximityModel) -> QueryRouter:
         """The shard router over the *current* compiled snapshot.
 
-        Re-partitions lazily whenever the snapshot changed (new counts
-        folded in, :meth:`apply_updates`, re-``prepare()``) and keeps
-        the model's dot products in lock-step, mirroring
+        Re-builds the backend lazily whenever the snapshot changed (new
+        counts folded in, :meth:`apply_updates`, re-``prepare()``) —
+        via :meth:`QueryRouter.swap`, so in-flight batches finish on
+        the old snapshot while new ones take the new — and keeps the
+        model's dot products in lock-step, mirroring
         :meth:`ProximityModel.rank`'s transparent recompile.
         """
         compiled = self.vectors.compile()
         if model.compiled is not compiled:
             model.compile(compiled)
-        if self._router is None or self._router.sharded.source is not compiled:
-            if self._router is not None:
-                self._router.close()
-            self._router = QueryRouter(
-                ShardedVectors.partition(compiled, self.shards),
-                workers=self.serving_workers,
-            )
+        if self._router is None or self._router_compiled is not compiled:
+            self.refresh_serving()
         return self._router
 
     def query(
@@ -541,7 +696,7 @@ class SemanticProximitySearch:
         model = self.model(class_name)
         require_valid_k(k)
         self._validate_query_node(query)
-        if self.shards > 1:
+        if self._routed:
             return self._serving_router(model).rank(
                 model, query, universe=self.universe(), k=k
             )
@@ -571,7 +726,7 @@ class SemanticProximitySearch:
         for query in queries:
             self._validate_query_node(query)
         universe = self.universe()
-        if self.shards > 1:
+        if self._routed:
             return self._serving_router(model).rank_many(
                 model, queries, universe=universe, k=k
             )

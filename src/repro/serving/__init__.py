@@ -9,21 +9,55 @@ pieces on top —
   of a compiled snapshot, each self-contained;
 - :class:`~repro.serving.router.ShardedVectors` /
   :class:`~repro.serving.router.QueryRouter`: multi-worker batch
-  routing with bit-identical merge;
+  routing with bit-identical merge over a pluggable
+  :class:`~repro.serving.backend.ShardBackend`;
+- :class:`~repro.serving.backend.InProcessBackend` /
+  :class:`~repro.serving.backend.SubprocessBackend`: shard scoring as
+  a function call, or as protocol frames to supervised worker
+  processes with per-shard replicas and failover;
+- :mod:`~repro.serving.protocol` / :mod:`~repro.serving.worker`: the
+  length-prefixed JSON wire format and the standalone shard-worker
+  process (``python -m repro shard-worker``);
 - :func:`~repro.serving.validation.validate_query_node`: the
   :class:`~repro.exceptions.QueryError` guard every serving entry
   point runs before scoring.
 """
 
+from repro.serving.backend import (
+    InProcessBackend,
+    ShardBackend,
+    SubprocessBackend,
+)
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    ScoreRequest,
+    ShardExecutor,
+    recv_frame,
+    send_frame,
+)
 from repro.serving.router import QueryRouter, ShardedVectors
-from repro.serving.shards import CompiledShard, partition_compiled, shard_ranges
+from repro.serving.shards import (
+    CompiledShard,
+    extract_shard,
+    partition_compiled,
+    shard_ranges,
+)
 from repro.serving.validation import validate_query_node
 
 __all__ = [
     "CompiledShard",
+    "InProcessBackend",
+    "PROTOCOL_VERSION",
     "QueryRouter",
+    "ScoreRequest",
+    "ShardBackend",
+    "ShardExecutor",
     "ShardedVectors",
+    "SubprocessBackend",
+    "extract_shard",
     "partition_compiled",
+    "recv_frame",
+    "send_frame",
     "shard_ranges",
     "validate_query_node",
 ]

@@ -2,43 +2,50 @@
 
 The serving tier's fan-out/merge layer: :class:`ShardedVectors` holds
 the K node-range shards of one compiled snapshot, and
-:class:`QueryRouter` answers query batches against them —
+:class:`QueryRouter` answers query batches against a
+:class:`~repro.serving.backend.ShardBackend` —
 
 1. *route*: each query belongs to exactly one shard (the one owning its
    universe position), because a node's candidate lists live with its
    row;
 2. *fan out*: per-shard query groups are scored concurrently on a
-   thread pool (``workers``), each producing the query's positively
-   scored, in-universe top-k partial ranking;
+   thread pool (``workers``) through the backend — a function call
+   into this process (:class:`~repro.serving.backend.InProcessBackend`)
+   or a protocol frame to a shard worker process
+   (:class:`~repro.serving.backend.SubprocessBackend`); each group
+   returns the queries' positively scored, in-universe top-k partial
+   rankings;
 3. *merge*: partial rankings return to batch order and are padded with
    zero-proximity universe members exactly like the single-process
    compiled path (:func:`~repro.learning.model.pad_with_universe`), so
-   the merged output is bit-identical to the unsharded backend.
+   the merged output is bit-identical to the unsharded backend — for
+   every transport.
 
-Per-model state is two dot-product arrays per shard (the same O(nnz)
-passes as the unsharded backend, sliced), cached per
-(model, snapshot) — attaching a second class or re-routing after
-``apply_updates()`` never re-partitions more than it must.
+:meth:`QueryRouter.swap` replaces the backend with zero downtime: the
+new backend warms first, new batches move to it atomically, and the old
+backend closes only after its in-flight batches drain — the serving
+half of a live snapshot swap.
 """
 
 from __future__ import annotations
 
-import weakref
+import threading
+import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.exceptions import LearningError
+from repro.exceptions import ServingError
 from repro.graph.typed_graph import NodeId
 from repro.index.compiled import CompiledVectors
 from repro.learning.model import (
     ProximityModel,
     SortedUniverse,
-    _descending_order,
     pad_with_universe,
     require_valid_k,
 )
+from repro.serving.backend import InProcessBackend, ShardBackend
 from repro.serving.shards import CompiledShard, partition_compiled
 
 
@@ -80,29 +87,52 @@ class ShardedVectors:
 
 
 class QueryRouter:
-    """Fan query batches out across shard workers and merge the results."""
+    """Fan query batches out across shard workers and merge the results.
 
-    def __init__(self, sharded: ShardedVectors, workers: int = 1):
+    ``backend`` is either a :class:`ShardedVectors` (wrapped into an
+    :class:`InProcessBackend`, the PR-5 behaviour) or any started-able
+    :class:`ShardBackend`.  ``workers`` bounds the router-side fan-out
+    concurrency — threads here are IO/dispatch, the arithmetic runs
+    wherever the backend puts it.
+    """
+
+    def __init__(
+        self, backend: ShardBackend | ShardedVectors, workers: int = 1
+    ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        self.sharded = sharded
+        if isinstance(backend, ShardedVectors):
+            backend = InProcessBackend(backend)
+        backend.start()
         self.workers = workers
+        self._backend: ShardBackend | None = backend
         self._executor: ThreadPoolExecutor | None = None
-        # per-model per-shard (node_dots, pair_dots); weak keys so a
-        # replaced model's entry dies with it instead of lingering (or,
-        # worse, being served to a new model that recycled its id)
-        self._dots: "weakref.WeakKeyDictionary[ProximityModel, list[tuple[np.ndarray, np.ndarray]]]" = (
-            weakref.WeakKeyDictionary()
-        )
+        self._cv = threading.Condition()
+        # in-flight batch count per backend: swap() drains the old
+        # backend against this before closing it
+        self._inflight: dict[ShardBackend, int] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ShardBackend | None:
+        return self._backend
+
+    @property
+    def sharded(self) -> ShardedVectors | None:
+        """The in-process shard set, when the backend holds one."""
+        return getattr(self._backend, "sharded", None)
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the dispatch pool and the backend down (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        with self._cv:
+            backend, self._backend = self._backend, None
+        if backend is not None:
+            backend.close()
 
     def __enter__(self) -> "QueryRouter":
         return self
@@ -119,28 +149,63 @@ class QueryRouter:
         return self._executor
 
     # ------------------------------------------------------------------
-    # per-model shard state
+    # zero-downtime backend swap
     # ------------------------------------------------------------------
-    def _model_dots(
-        self, model: ProximityModel
-    ) -> list[tuple[np.ndarray, np.ndarray]]:
-        if model.compiled is not self.sharded.source:
-            raise LearningError(
-                "model is not compiled against this router's snapshot; "
-                "rebuild the router (or recompile the model) after the "
-                "counts change"
-            )
-        dots = self._dots.get(model)
-        if dots is None:
-            dots = [
-                (
-                    shard.node_dot_products(model.weights),
-                    shard.pair_dot_products(model.weights),
-                )
-                for shard in self.sharded.shards
-            ]
-            self._dots[model] = dots
-        return dots
+    def swap(
+        self,
+        backend: ShardBackend | ShardedVectors,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        """Replace the backend without dropping a query.
+
+        The new backend warms (``start()``) while the old one keeps
+        serving; new batches switch over atomically; the old backend is
+        closed once its in-flight batches drain (or ``drain_timeout``
+        elapses — the stragglers then race the close, exactly like a
+        worker death, which the process backend already survives).
+        """
+        if isinstance(backend, ShardedVectors):
+            backend = InProcessBackend(backend)
+        backend.start()
+        with self._cv:
+            if self._backend is None:
+                backend.close()
+                raise ServingError("router is closed; cannot swap backends")
+            old, self._backend = self._backend, backend
+            deadline = time.monotonic() + drain_timeout
+            while self._inflight.get(old, 0) > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cv.wait(remaining)
+        old.close()
+
+    def _acquire(self) -> ShardBackend:
+        with self._cv:
+            backend = self._backend
+            if backend is None:
+                raise ServingError("router is closed")
+            self._inflight[backend] = self._inflight.get(backend, 0) + 1
+            return backend
+
+    def _release(self, backend: ShardBackend) -> None:
+        with self._cv:
+            count = self._inflight.get(backend, 0) - 1
+            if count <= 0:
+                self._inflight.pop(backend, None)
+            else:
+                self._inflight[backend] = count
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # compatibility shims for the in-process backend's caches
+    # ------------------------------------------------------------------
+    def _model_dots(self, model: ProximityModel):
+        return self._backend._model_dots(model)
+
+    @property
+    def _dots(self):
+        return self._backend._dots
 
     # ------------------------------------------------------------------
     # serving
@@ -164,31 +229,42 @@ class QueryRouter:
     ) -> list[list[tuple[NodeId, float]]]:
         """One ranking per query, bit-identical to the unsharded path."""
         require_valid_k(k)
-        dots = self._model_dots(model)
         if universe is not None and not isinstance(universe, SortedUniverse):
             universe = SortedUniverse(universe)
+        backend = self._acquire()
+        try:
+            return self._rank_on(backend, model, list(queries), universe, k)
+        finally:
+            self._release(backend)
 
+    def _rank_on(
+        self,
+        backend: ShardBackend,
+        model: ProximityModel,
+        queries: list[NodeId],
+        universe: SortedUniverse | None,
+        k: int | None,
+    ) -> list[list[tuple[NodeId, float]]]:
         # route: group batch slots by owning shard; absent nodes score
         # as an empty candidate set, exactly like the unsharded path
         groups: dict[int, list[tuple[int, NodeId, int]]] = {}
         empty: list[tuple[int, NodeId]] = []
         for slot, query in enumerate(queries):
-            pos = self.sharded.position(query)
+            pos = backend.position(query)
             if pos is None:
                 empty.append((slot, query))
             else:
-                shard = self.sharded.shard_of(pos)
-                groups.setdefault(shard.shard_id, []).append((slot, query, pos))
+                shard_id = backend.shard_id_of(pos)
+                groups.setdefault(shard_id, []).append((slot, query, pos))
 
         results: list[list[tuple[NodeId, float]] | None] = [None] * len(queries)
 
         def score_group(shard_id: int) -> None:
-            shard = self.sharded.shards[shard_id]
-            node_dots, pair_dots = dots[shard_id]
-            for slot, query, pos in groups[shard_id]:
-                results[slot] = _score_on_shard(
-                    shard, node_dots, pair_dots, query, pos, universe, k
-                )
+            group = groups[shard_id]
+            for slot, ranking in backend.score_group(
+                model, shard_id, group, universe, k
+            ).items():
+                results[slot] = ranking
 
         if self.workers > 1 and len(groups) > 1:
             pool = self._pool()
@@ -210,45 +286,4 @@ class QueryRouter:
         return results  # type: ignore[return-value]
 
     def __repr__(self) -> str:
-        return (
-            f"<QueryRouter: {self.sharded.num_shards} shards, "
-            f"{self.workers} workers>"
-        )
-
-
-def _score_on_shard(
-    shard: CompiledShard,
-    node_dots: np.ndarray,
-    pair_dots: np.ndarray,
-    query: NodeId,
-    global_pos: int,
-    universe: SortedUniverse | None,
-    k: int | None,
-) -> list[tuple[NodeId, float]]:
-    """Score one query on its owning shard — the unsharded math, sliced.
-
-    Mirrors ``ProximityModel._rank_compiled`` operation for operation
-    (same candidate order, same masked division, same stable top-k) so
-    scores and tie-breaks are bit-identical.
-    """
-    if k is not None and k <= 0:
-        return []
-    row = shard.local_row(global_pos)
-    cand, pair = shard.candidates_of(row)
-    keep = cand != row
-    cand, pair = cand[keep], pair[keep]
-    numerators = 2.0 * pair_dots[pair]
-    denominators = node_dots[row] + node_dots[cand]
-    scores = np.zeros(len(cand), dtype=np.float64)
-    positive = denominators > 0.0
-    scores[positive] = numerators[positive] / denominators[positive]
-
-    nodes = shard.nodes
-    if universe is None:
-        order = _descending_order(scores, k)
-        return [(nodes[cand[j]], float(scores[j])) for j in order]
-    in_universe = universe.mask_over(shard)[cand]
-    hit = np.flatnonzero(in_universe & (scores > 0.0))
-    order = hit[_descending_order(scores[hit], k)]
-    result = [(nodes[cand[j]], float(scores[j])) for j in order]
-    return pad_with_universe(result, query, universe, k)
+        return f"<QueryRouter: {self._backend!r}, {self.workers} workers>"

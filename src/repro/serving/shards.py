@@ -175,55 +175,81 @@ def shard_ranges(num_nodes: int, num_shards: int) -> list[tuple[int, int]]:
     return ranges
 
 
+def _slice_shard(
+    compiled: CompiledVectors, shard_id: int, lo: int, hi: int
+) -> CompiledShard:
+    """Build the self-contained shard for global row range ``[lo, hi)``."""
+    a, b = int(compiled.pair_ptr[lo]), int(compiled.pair_ptr[hi])
+    cand_global = compiled.partner_pos[a:b]
+    pair_global = compiled.entry_pair[a:b]
+    cand_ptr = np.asarray(compiled.pair_ptr[lo : hi + 1] - a, dtype=np.int64)
+
+    # referenced rows: the owned range plus the halo of partners
+    # (union1d returns them sorted, so local order preserves the
+    # global — i.e. repr — order the tie-break relies on)
+    local_nodes = np.union1d(
+        np.arange(lo, hi, dtype=np.int64), cand_global
+    ).astype(np.int64)
+    cand_local = np.searchsorted(local_nodes, cand_global).astype(np.int64)
+    own_offset = int(np.searchsorted(local_nodes, lo))
+
+    pair_rows = np.unique(pair_global).astype(np.int64)
+    cand_pair = np.searchsorted(pair_rows, pair_global).astype(np.int64)
+
+    node_csr = _take_csr_rows(
+        compiled.node_indptr,
+        compiled.node_indices,
+        compiled.node_data,
+        local_nodes,
+    )
+    pair_csr = _take_csr_rows(
+        compiled.pair_indptr,
+        compiled.pair_indices,
+        compiled.pair_data,
+        pair_rows,
+    )
+    return CompiledShard(
+        shard_id,
+        lo,
+        hi,
+        tuple(compiled.nodes[i] for i in local_nodes),
+        own_offset,
+        node_csr,
+        pair_csr,
+        cand_ptr,
+        cand_local,
+        cand_pair,
+    )
+
+
+def extract_shard(
+    compiled: CompiledVectors, shard_id: int, num_shards: int
+) -> CompiledShard:
+    """Slice shard ``shard_id`` of ``num_shards`` out of a snapshot.
+
+    The standalone-worker entry point: with the snapshot opened
+    ``mmap_mode="r"`` (:func:`~repro.index.persist.load_compiled`) the
+    row gathers touch only this shard's slice plus its halo, so a
+    worker materialises its own node range without ever paging the
+    rest of the universe in — identical arrays to the corresponding
+    element of :func:`partition_compiled`.
+    """
+    ranges = shard_ranges(compiled.num_nodes, num_shards)
+    if not 0 <= shard_id < num_shards:
+        raise ValueError(
+            f"shard_id must be in [0, {num_shards}), got {shard_id}"
+        )
+    lo, hi = ranges[shard_id]
+    return _slice_shard(compiled, shard_id, lo, hi)
+
+
 def partition_compiled(
     compiled: CompiledVectors, num_shards: int
 ) -> list[CompiledShard]:
     """Slice a compiled snapshot into ``num_shards`` node-range shards."""
-    shards = []
-    for shard_id, (lo, hi) in enumerate(
-        shard_ranges(compiled.num_nodes, num_shards)
-    ):
-        a, b = int(compiled.pair_ptr[lo]), int(compiled.pair_ptr[hi])
-        cand_global = compiled.partner_pos[a:b]
-        pair_global = compiled.entry_pair[a:b]
-        cand_ptr = np.asarray(compiled.pair_ptr[lo : hi + 1] - a, dtype=np.int64)
-
-        # referenced rows: the owned range plus the halo of partners
-        # (union1d returns them sorted, so local order preserves the
-        # global — i.e. repr — order the tie-break relies on)
-        local_nodes = np.union1d(
-            np.arange(lo, hi, dtype=np.int64), cand_global
-        ).astype(np.int64)
-        cand_local = np.searchsorted(local_nodes, cand_global).astype(np.int64)
-        own_offset = int(np.searchsorted(local_nodes, lo))
-
-        pair_rows = np.unique(pair_global).astype(np.int64)
-        cand_pair = np.searchsorted(pair_rows, pair_global).astype(np.int64)
-
-        node_csr = _take_csr_rows(
-            compiled.node_indptr,
-            compiled.node_indices,
-            compiled.node_data,
-            local_nodes,
+    return [
+        _slice_shard(compiled, shard_id, lo, hi)
+        for shard_id, (lo, hi) in enumerate(
+            shard_ranges(compiled.num_nodes, num_shards)
         )
-        pair_csr = _take_csr_rows(
-            compiled.pair_indptr,
-            compiled.pair_indices,
-            compiled.pair_data,
-            pair_rows,
-        )
-        shards.append(
-            CompiledShard(
-                shard_id,
-                lo,
-                hi,
-                tuple(compiled.nodes[i] for i in local_nodes),
-                own_offset,
-                node_csr,
-                pair_csr,
-                cand_ptr,
-                cand_local,
-                cand_pair,
-            )
-        )
-    return shards
+    ]

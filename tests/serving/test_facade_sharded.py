@@ -89,11 +89,47 @@ class TestFacadeSharding:
         sharded.fit("family", labels=ds.class_labels("family"), num_examples=40)
         sharded.query_many("family", ["Bob"], k=2)
         first = sharded._router
+        first_backend = first.backend
         sharded.apply_updates(GraphDelta().remove_edge("Kate", "Music"))
         sharded.query_many("family", ["Bob"], k=2)
-        assert sharded._router is not first
-        # and the rebuilt router serves the *current* snapshot
+        # zero-downtime swap: the router object survives, its backend is
+        # rebuilt over (and serves) the *current* snapshot
+        assert sharded._router is first
+        assert sharded._router.backend is not first_backend
         assert sharded._router.sharded.source is sharded.vectors.compile()
+
+    def test_reprepare_closes_previous_router(self):
+        # re-preparing replaces the snapshot: the old router (and its
+        # thread pool / worker processes) must be closed, not leaked
+        sharded, ds = toy_engine(shards=3)
+        sharded.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        sharded.query_many("family", ["Bob"], k=2)
+        old = sharded._router
+        assert old is not None and old.backend is not None
+        catalog = MetagraphCatalog(toy_metagraphs().values(), anchor_type="user")
+        sharded.prepare(catalog=catalog)
+        assert sharded._router is None
+        assert old.backend is None  # closed
+
+    def test_engine_close_is_idempotent_and_recoverable(self):
+        sharded, ds = toy_engine(shards=2)
+        sharded.fit("family", labels=ds.class_labels("family"), num_examples=40)
+        sharded.query_many("family", ["Bob"], k=2)
+        router = sharded._router
+        sharded.close()
+        assert sharded._router is None and router.backend is None
+        sharded.close()
+        # serving recovers: the router rebuilds lazily on the next query
+        assert sharded.query_many("family", ["Bob"], k=2)
+        sharded.close()
+
+    def test_engine_context_manager_closes_router(self):
+        with toy_engine(shards=2)[0] as engine:
+            engine.fit("family", labels=toy_dataset().class_labels("family"),
+                       num_examples=40)
+            engine.query_many("family", ["Bob"], k=2)
+            router = engine._router
+        assert engine._router is None and router.backend is None
 
     def test_router_survives_noop_updates(self):
         sharded, ds = toy_engine(shards=3)
