@@ -9,6 +9,7 @@ Usage::
     python -m repro serve --quick --shards 4 --workers 4
     python -m repro serve --quick --shards 4 --backend process --replicas 2
     python -m repro serve --quick --snapshot idx/ --mmap
+    python -m repro serve --quick --snapshot idx/ --listen 127.0.0.1:8766 --watch
     python -m repro index build --dataset linkedin --out idx/ --workers 4
     python -m repro index info idx/
     python -m repro index update idx/ --dataset linkedin --edits edits.json
@@ -163,6 +164,43 @@ def build_parser() -> argparse.ArgumentParser:
         "loading a copy (near-zero cold start; pages shared across "
         "co-hosted processes)",
     )
+    serve_arg(
+        "--listen",
+        metavar="HOST:PORT",
+        help="run a long-lived HTTP query frontend instead of a one-shot "
+        "batch: /query, /reload, /stats, /health; requires --snapshot "
+        "(the server serves a persisted index)",
+    )
+    serve_arg(
+        "--max-batch",
+        type=int,
+        help="frontend: flush a coalesced batch at this many queries "
+        "(default: REPRO_FRONTEND_MAX_BATCH or 32)",
+    )
+    serve_arg(
+        "--max-delay-ms",
+        type=float,
+        help="frontend: flush a coalesced batch after its oldest query "
+        "waited this long (default: REPRO_FRONTEND_MAX_DELAY_MS or 2.0)",
+    )
+    serve_arg(
+        "--cache-size",
+        type=int,
+        help="frontend: LRU result-cache capacity; 0 disables caching "
+        "(default: REPRO_FRONTEND_CACHE_SIZE or 4096)",
+    )
+    serve_arg(
+        "--cache-ttl",
+        type=float,
+        help="frontend: seconds a cached ranking stays servable "
+        "(default: REPRO_FRONTEND_CACHE_TTL, else no expiry)",
+    )
+    serve_arg(
+        "--watch",
+        action="store_true",
+        help="frontend: poll the --snapshot directory and hot-reload "
+        "(zero downtime) whenever its digest changes",
+    )
     parser.serve_only_options = serve_only
     return parser
 
@@ -248,6 +286,39 @@ def run_serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
             file=sys.stderr,
         )
         return 2
+    frontend_flags = [
+        flag
+        for flag, value in (
+            ("--max-batch", args.max_batch),
+            ("--max-delay-ms", args.max_delay_ms),
+            ("--cache-size", args.cache_size),
+            ("--cache-ttl", args.cache_ttl),
+            ("--watch", args.watch),
+        )
+        if value is not None
+    ]
+    if args.listen is None and frontend_flags:
+        print(
+            f"option(s) {frontend_flags} configure the HTTP frontend; "
+            "they require --listen",
+            file=sys.stderr,
+        )
+        return 2
+    if args.listen is not None:
+        if args.snapshot is None:
+            print(
+                "--listen serves a persisted index long-lived; it "
+                "requires --snapshot (build one with `repro index build`)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.serving.frontend import parse_listen
+
+        try:
+            parse_listen(args.listen)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     classes = load_dataset(dataset_name, scale="tiny").classes
     class_name = args.class_name or classes[0]
     if class_name not in classes:
@@ -463,6 +534,32 @@ def _serve_from_snapshot(
                 num_examples=200,
                 seed=config.seed,
             )
+        if args.listen is not None:
+            from repro.serving.frontend import FrontendConfig
+
+            frontend_config = FrontendConfig.from_env(
+                max_batch=args.max_batch,
+                max_delay_ms=args.max_delay_ms,
+                cache_size=args.cache_size,
+                cache_ttl=args.cache_ttl,
+            )
+            print(
+                f"[serve] {dataset_name}/{class_name!r}: listening on "
+                f"{args.listen} (digest {engine.serving_digest()[:12]}…, "
+                f"max_batch={frontend_config.max_batch}, "
+                f"max_delay_ms={frontend_config.max_delay_ms}, "
+                f"cache_size={frontend_config.cache_size}, "
+                f"watch={'on' if args.watch else 'off'})"
+            )
+            try:
+                engine.serve_forever(
+                    listen=args.listen,
+                    config=frontend_config,
+                    watch=args.snapshot if args.watch else None,
+                )
+            except KeyboardInterrupt:
+                print("[serve] interrupted; shutting down")
+            return 0
         sidecar = "mmap" if mmap else "loaded"
         if shards > 1 or backend_name == "process":
             backend = (

@@ -24,6 +24,7 @@ from repro.index.persist import (
     load_index,
     read_manifest,
     save_index,
+    snapshot_digest,
 )
 from repro.index.transform import (
     TRANSFORMS,
@@ -70,5 +71,6 @@ __all__ = [
     "match_and_count",
     "read_manifest",
     "save_index",
+    "snapshot_digest",
     "sqrt",
 ]

@@ -24,6 +24,8 @@ invalidates its cache whenever new counts are folded in.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections.abc import Mapping, Set
 
 import numpy as np
@@ -176,6 +178,38 @@ class CompiledVectors:
     def nnz(self) -> int:
         """Stored nonzeros across the node and pair matrices."""
         return len(self.node_data) + len(self.pair_data)
+
+    def content_digest(self) -> str:
+        """Content hash of this snapshot (arrays + node table), cached.
+
+        The serving tier's cache key for engines whose snapshot only
+        exists in memory: two compiled snapshots digest equal exactly
+        when every served ranking would be bit-identical.  Safe to
+        cache on the instance because every array is frozen read-only
+        in the constructor.
+        """
+        cached = getattr(self, "_content_digest", None)
+        if cached is None:
+            # lazy import: repro.index.vectors imports this module
+            from repro.index.vectors import encode_node_id
+
+            digest = hashlib.sha256()
+            digest.update(
+                json.dumps(
+                    [encode_node_id(node) for node in self.nodes],
+                    separators=(",", ":"),
+                ).encode("utf-8")
+            )
+            digest.update(str(self.catalog_size).encode("utf-8"))
+            for array in (
+                self.node_indptr, self.node_indices, self.node_data,
+                self.pair_indptr, self.pair_indices, self.pair_data,
+                self.pair_ptr, self.partner_pos, self.entry_pair,
+            ):
+                digest.update(np.ascontiguousarray(array).tobytes())
+            cached = digest.hexdigest()
+            self._content_digest = cached
+        return cached
 
     def position(self, node: NodeId) -> int | None:
         """Row of a node in the anchor universe (None if absent)."""

@@ -382,6 +382,26 @@ class LoadedIndex:
         return index
 
 
+def snapshot_digest(path_or_manifest: str | Path | dict) -> str:
+    """One content id for a whole snapshot: its manifest's self-digest.
+
+    The manifest digests every artefact it describes (arrays, catalog,
+    sidecar members, node table, models, update log), so this single
+    hash changes whenever anything served from the snapshot could — the
+    serving tier keys its result cache on it.  Accepts a snapshot
+    directory or an already-read manifest.
+    """
+    manifest = (
+        path_or_manifest
+        if isinstance(path_or_manifest, dict)
+        else read_manifest(path_or_manifest)
+    )
+    digest = manifest.get("manifest_sha256")
+    if not digest:
+        raise SnapshotError("snapshot manifest carries no digest")
+    return digest
+
+
 def read_manifest(path: str | Path) -> dict:
     """Parse and version-check a snapshot manifest."""
     manifest_path = Path(path) / MANIFEST_FILE

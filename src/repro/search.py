@@ -47,6 +47,7 @@ answering from desynchronised counts.
 from __future__ import annotations
 
 import tempfile
+import threading
 import warnings
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
@@ -68,7 +69,9 @@ from repro.index.persist import (
     LoadedIndex,
     catalog_fingerprint,
     load_index,
+    read_manifest,
     save_index,
+    snapshot_digest,
 )
 from repro.index.transform import TRANSFORMS, Transform, identity
 from repro.index.vectors import MetagraphVectors, build_vectors
@@ -166,6 +169,11 @@ class SemanticProximitySearch:
         self.serving_backend = serving_backend
         self.replicas = replicas
         self._router: QueryRouter | None = None
+        # serialises serving-tier (re)builds: concurrent queries racing
+        # a snapshot change must produce ONE swap, not one per thread.
+        # Reentrant so refresh_serving() works both standalone and from
+        # under _serving_router()/reload_index()
+        self._serving_lock = threading.RLock()
         # the compiled snapshot the router's backend was built over —
         # a change triggers a zero-downtime swap on the next query
         self._router_compiled = None
@@ -176,6 +184,9 @@ class SemanticProximitySearch:
         self._snapshot_compiled = None
         self._snapshots_tmp: tempfile.TemporaryDirectory | None = None
         self._snapshot_seq = 0
+        # (path, compiled, digest) memo for serving_digest(): read the
+        # manifest once while the snapshot is on disk, not per query
+        self._serving_digest_memo: tuple | None = None
         self.catalog: MetagraphCatalog | None = None
         self.vectors: MetagraphVectors | None = None
         self.index: InstanceIndex | None = None
@@ -299,9 +310,18 @@ class SemanticProximitySearch:
                 f"{current!r}"
             )
 
-    def _install_loaded(self, loaded: LoadedIndex) -> None:
-        """Adopt a loaded snapshot as this engine's offline artefacts."""
-        self._close_router()
+    def _install_loaded(
+        self, loaded: LoadedIndex, close_router: bool = True
+    ) -> None:
+        """Adopt a loaded snapshot as this engine's offline artefacts.
+
+        ``close_router=False`` keeps the live serving tier up while the
+        artefacts change underneath it — the :meth:`reload_index` hot
+        path, which swaps the router onto the new snapshot afterwards
+        instead of tearing it down.
+        """
+        if close_router:
+            self._close_router()
         self.catalog = loaded.catalog
         self.vectors = loaded.vectors
         self._catalog_from_mining = (
@@ -313,7 +333,6 @@ class SemanticProximitySearch:
         # wrong totals as authoritative) — serve without one instead
         self.index = loaded.instance_index() if loaded.instance_totals else None
         self._universe = None
-        self._models.clear()
         self._index_graph_version = self.graph.version
         self._update_log = list(loaded.manifest.get("update_log", []))
         if self.compile_serving:
@@ -323,11 +342,16 @@ class SemanticProximitySearch:
                 self.vectors.adopt_compiled(loaded.compiled)
             else:
                 self.vectors.compile()
+        models: dict[str, ProximityModel] = {}
         for name, weights in loaded.models.items():
             model = ProximityModel(weights, self.vectors, name=name)
             if self.compile_serving:
                 model.compile()
-            self._models[name] = model
+            models[name] = model
+        # one reference swap, not clear-then-refill: a concurrent query
+        # during a hot reload sees the full old set or the full new set,
+        # never a half-populated dict
+        self._models = models
 
     # ------------------------------------------------------------------
     # persistence
@@ -571,9 +595,10 @@ class SemanticProximitySearch:
 
     def _close_router(self) -> None:
         """Tear the serving tier down (thread pools, worker processes)."""
-        if self._router is not None:
+        with self._serving_lock:
             router, self._router = self._router, None
             self._router_compiled = None
+        if router is not None:
             router.close()
 
     def close(self) -> None:
@@ -650,16 +675,142 @@ class SemanticProximitySearch:
         if not self._routed:
             return
         _catalog, vectors = self._require_fresh()
+        with self._serving_lock:
+            compiled = vectors.compile()
+            for model in self._models.values():
+                if model.compiled is not compiled:
+                    model.compile(compiled)
+            backend = self._build_backend(compiled)
+            if self._router is None:
+                self._router = QueryRouter(
+                    backend, workers=self.serving_workers
+                )
+            else:
+                self._router.swap(backend)
+            self._router_compiled = compiled
+
+    def serving_digest(self) -> str:
+        """Content digest of the snapshot serving answers right now.
+
+        The front-end's cache-key component: two engines (or one engine
+        across a hot reload) report the same digest exactly when every
+        ranking they serve is bit-identical.  An engine pinned to an
+        on-disk snapshot reports that snapshot's manifest self-digest
+        (so a frontend and a snapshot-directory watcher agree on
+        identity); an engine whose counts only live in memory digests
+        the compiled CSR arrays directly.
+        """
+        _catalog, vectors = self._require_fresh()
         compiled = vectors.compile()
-        for model in self._models.values():
-            if model.compiled is not compiled:
-                model.compile(compiled)
-        backend = self._build_backend(compiled)
-        if self._router is None:
-            self._router = QueryRouter(backend, workers=self.serving_workers)
-        else:
-            self._router.swap(backend)
-        self._router_compiled = compiled
+        if (
+            self._snapshot_path is not None
+            and self._snapshot_compiled is compiled
+        ):
+            memo = self._serving_digest_memo
+            if (
+                memo is not None
+                and memo[0] == self._snapshot_path
+                and memo[1] is compiled
+            ):
+                return memo[2]
+            digest = snapshot_digest(self._snapshot_path)
+            self._serving_digest_memo = (
+                self._snapshot_path, compiled, digest,
+            )
+            return digest
+        return compiled.content_digest()
+
+    def reload_index(self, path: str | Path, mmap: bool = True) -> str:
+        """Hot-swap this engine onto an on-disk snapshot, zero-downtime.
+
+        The serving-tier counterpart of :meth:`from_index`: the
+        snapshot is validated and loaded *while the current router
+        keeps answering*, the artefacts (counts, compiled sidecar,
+        fitted classes) are adopted, and the router swaps onto the new
+        snapshot via :meth:`QueryRouter.swap` — in-flight batches drain
+        on the old backend, new batches take the new one, and nothing
+        returns an error in between.  In-flight queries may resolve
+        against either snapshot during the swap window.
+
+        A snapshot whose recorded update log strictly *extends* this
+        engine's (the publisher kept applying :meth:`apply_updates`
+        after our last common point) first replays the missing suffix
+        onto the live graph, so the fingerprint check still holds and
+        the universe picks up added/removed anchors.  Returns the new
+        :meth:`serving_digest`.
+        """
+        source = Path(path)
+        manifest = read_manifest(source)
+        recorded_log = list(manifest.get("update_log", []))
+        if (
+            len(recorded_log) > len(self._update_log)
+            and recorded_log[: len(self._update_log)] == self._update_log
+        ):
+            suffix = recorded_log[len(self._update_log) :]
+            GraphDelta(
+                GraphEdit.from_json_dict(doc) for doc in suffix
+            ).apply_to(self.graph)
+        loaded = load_index(
+            source, graph=self.graph, transform=self.transform, mmap=mmap
+        )
+        self._check_snapshot_compatible(loaded)
+        self._install_loaded(loaded, close_router=False)
+        self._snapshot_path = source
+        self._snapshot_compiled = self.vectors._compiled
+        with self._serving_lock:
+            if self._router is not None:
+                if self._routed:
+                    self.refresh_serving()
+                else:
+                    self._close_router()
+        return self.serving_digest()
+
+    def frontend(self, config=None, cache=None):
+        """A :class:`~repro.serving.frontend.QueryFrontend` over this engine.
+
+        The batching/caching serving face: validates and coalesces
+        concurrent single queries into dynamic ``query_many`` batches
+        and memoises rankings under :meth:`serving_digest`-scoped keys.
+        The frontend borrows the engine (closing the frontend leaves
+        the engine open).
+        """
+        # lazy import: repro.serving.frontend imports this module's
+        # collaborators; the facade stays importable without it
+        from repro.serving.frontend import QueryFrontend
+
+        return QueryFrontend(self, config=config, cache=cache)
+
+    def serve_forever(
+        self,
+        listen: str = "127.0.0.1:8766",
+        config=None,
+        watch: str | Path | None = None,
+    ) -> None:
+        """Serve this engine over HTTP until interrupted (blocking).
+
+        Binds ``HOST:PORT`` from ``listen`` and answers ``/query``,
+        ``/reload``, ``/stats`` and ``/health``
+        (:class:`~repro.serving.frontend.FrontendServer`).  ``watch``
+        points at a snapshot directory to poll for hot reloads.
+        """
+        from repro.serving.frontend import (
+            FrontendServer,
+            QueryFrontend,
+            parse_listen,
+        )
+
+        host, port = parse_listen(listen)
+        front = QueryFrontend(self, config=config)
+        try:
+            if watch is not None:
+                front.watch(watch)
+            server = FrontendServer(front, host=host, port=port)
+            try:
+                server.serve_forever()
+            finally:
+                server.shutdown()
+        finally:
+            front.close()
 
     def _serving_router(self, model: ProximityModel) -> QueryRouter:
         """The shard router over the *current* compiled snapshot.
@@ -675,7 +826,14 @@ class SemanticProximitySearch:
         if model.compiled is not compiled:
             model.compile(compiled)
         if self._router is None or self._router_compiled is not compiled:
-            self.refresh_serving()
+            # double-checked under the serving lock: many query threads
+            # may race one snapshot change, exactly one swaps
+            with self._serving_lock:
+                if (
+                    self._router is None
+                    or self._router_compiled is not compiled
+                ):
+                    self.refresh_serving()
         return self._router
 
     def query(

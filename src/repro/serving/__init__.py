@@ -20,13 +20,26 @@ pieces on top —
   process (``python -m repro shard-worker``);
 - :func:`~repro.serving.validation.validate_query_node`: the
   :class:`~repro.exceptions.QueryError` guard every serving entry
-  point runs before scoring.
+  point runs before scoring;
+- :class:`~repro.serving.frontend.QueryFrontend` /
+  :class:`~repro.serving.frontend.FrontendServer` /
+  :class:`~repro.serving.cache.ResultCache`: the long-lived query
+  front-end — dynamic batch coalescing over ``query_many``, an
+  LRU+TTL result cache keyed by snapshot digest, zero-downtime hot
+  snapshot reload, and the ``repro serve --listen`` HTTP face.
 """
 
 from repro.serving.backend import (
     InProcessBackend,
     ShardBackend,
     SubprocessBackend,
+)
+from repro.serving.cache import CacheStats, ResultCache, result_key
+from repro.serving.frontend import (
+    BatchCoalescer,
+    FrontendConfig,
+    FrontendServer,
+    QueryFrontend,
 )
 from repro.serving.protocol import (
     PROTOCOL_VERSION,
@@ -45,10 +58,16 @@ from repro.serving.shards import (
 from repro.serving.validation import validate_query_node
 
 __all__ = [
+    "BatchCoalescer",
+    "CacheStats",
     "CompiledShard",
+    "FrontendConfig",
+    "FrontendServer",
     "InProcessBackend",
     "PROTOCOL_VERSION",
+    "QueryFrontend",
     "QueryRouter",
+    "ResultCache",
     "ScoreRequest",
     "ShardBackend",
     "ShardExecutor",
@@ -59,5 +78,6 @@ __all__ = [
     "recv_frame",
     "send_frame",
     "shard_ranges",
+    "result_key",
     "validate_query_node",
 ]

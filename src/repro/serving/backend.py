@@ -215,6 +215,20 @@ class _WorkerHandle:
     def alive(self) -> bool:
         return self.proc is not None and self.proc.poll() is None
 
+    def kill(self) -> None:
+        """Forcibly end this worker incarnation (connection included)."""
+        self.drop_connection()
+        if self.alive():
+            try:
+                self.proc.kill()
+            except OSError:
+                pass
+        if self.proc is not None:
+            try:
+                self.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                pass
+
 
 class SubprocessBackend(ShardBackend):
     """Supervise shard worker processes and speak the wire protocol.
@@ -397,8 +411,16 @@ class SubprocessBackend(ShardBackend):
                 or hello.get("shard") != handle.shard_id
             ):
                 conn.close()
+                # the worker is live but wrong (serving another shard,
+                # stale spawn, rogue process on the socket): left alone
+                # the failover loop would retry it until the deadline
+                # burns, because it only respawns dead workers — kill
+                # this incarnation so the next attempt spawns a correct
+                # replacement
+                handle.kill()
                 raise _TransportFailure(
-                    f"{handle.name}: bad handshake response {hello!r}"
+                    f"{handle.name}: bad handshake response {hello!r} "
+                    "(worker killed for respawn)"
                 )
             handle.conn = conn
             return
@@ -479,6 +501,18 @@ class SubprocessBackend(ShardBackend):
                 # with the universe inline
                 request.include_universe = True
                 response = self._call(handle, request.to_wire(), deadline)
+                if response.get("need") == "universe":
+                    # the worker restarted again between the two calls:
+                    # its caches are empty and this connection now talks
+                    # to an incarnation our bookkeeping knows nothing
+                    # about — retriable, not a protocol violation
+                    handle.known_universes.discard(digest)
+                    handle.drop_connection()
+                    raise _TransportFailure(
+                        f"{handle.name}: universe cache miss persisted "
+                        "after an inline re-send (worker restarted "
+                        "mid-request)"
+                    )
             if not response.get("ok"):
                 error = response.get("error")
                 if isinstance(error, dict):

@@ -1,0 +1,157 @@
+"""LRU + TTL result cache for the serving front-end.
+
+Millions of users means skewed traffic: a handful of hot queries
+dominate any realistic workload, so the cheapest ranking is the one
+never recomputed.  :class:`ResultCache` memoises finished rankings
+under a key that pins *everything* a ranking depends on —
+
+``(snapshot digest, class name, query, k, universe digest)``
+
+— so a cache entry can only ever be served for the exact snapshot it
+was computed against.  A hot snapshot swap therefore cannot serve
+pre-swap results even without cooperation (the digest in the key
+changes); :meth:`invalidate` additionally drops the old entries
+atomically so they stop occupying memory the moment the swap lands.
+
+Eviction is size-capped LRU; expiry is optional per-cache TTL checked
+on read (an expired entry counts as a miss and is removed in place).
+All operations take one lock and do O(1) work, so the cache adds
+nanoseconds, not contention, in front of a ranking that costs
+microseconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters since construction (monotonic; never reset)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+        }
+
+
+def result_key(
+    snapshot_digest: str,
+    class_name: str,
+    query: Hashable,
+    k: int | None,
+    universe_digest: str | None,
+) -> tuple:
+    """The canonical cache key of one single-query ranking."""
+    return (snapshot_digest, class_name, query, k, universe_digest)
+
+
+class ResultCache:
+    """Thread-safe LRU + TTL map from :func:`result_key` to rankings.
+
+    ``max_size <= 0`` disables the cache entirely (every ``get`` is a
+    miss, every ``put`` a no-op) so one configuration knob can turn
+    caching off without a second code path in the caller.  ``ttl`` is
+    seconds an entry stays servable (None: forever); ``clock`` is
+    injectable for tests and defaults to the monotonic clock so wall
+    clock jumps never mass-expire a warm cache.
+    """
+
+    def __init__(
+        self,
+        max_size: int = 4096,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
+        self.max_size = max_size
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple[object, float | None]] = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple):
+        """The cached value (refreshed to MRU), or None on miss/expiry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, expires_at = entry
+            if expires_at is not None and self._clock() >= expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: tuple, value) -> None:
+        """Insert/refresh an entry, evicting LRU entries past the cap."""
+        if self.max_size <= 0:
+            return
+        expires_at = None if self.ttl is None else self._clock() + self.ttl
+        with self._lock:
+            self._entries[key] = (value, expires_at)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self) -> int:
+        """Atomically drop every entry; returns how many were dropped.
+
+        The swap half of cache coherence: correctness is carried by the
+        snapshot digest in the key, this reclaims the dead entries'
+        memory in one move.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._invalidations += 1
+            return dropped
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                invalidations=self._invalidations,
+            )
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (
+            f"<ResultCache: {len(self)}/{self.max_size} entries, "
+            f"ttl={self.ttl}, {stats.hits} hits / {stats.misses} misses>"
+        )

@@ -124,13 +124,25 @@ class QueryRouter:
         """The in-process shard set, when the backend holds one."""
         return getattr(self._backend, "sharded", None)
 
-    def close(self) -> None:
-        """Shut the dispatch pool and the backend down (idempotent)."""
+    def close(self, drain_timeout: float = 30.0) -> None:
+        """Shut the dispatch pool and the backend down (idempotent).
+
+        Like :meth:`swap`, the backend's in-flight batches drain first
+        (new batches are rejected the moment the backend detaches): a
+        concurrent ``rank_many`` that already acquired the backend would
+        otherwise race the teardown and hit closed worker sockets
+        mid-request.  After ``drain_timeout`` seconds the stragglers are
+        abandoned to race the close, exactly like a worker death.
+        """
+        with self._cv:
+            backend, self._backend = self._backend, None
+            if backend is not None:
+                self._drain_locked(backend, drain_timeout)
+        # the executor outlives the drain: in-flight batches may still
+        # be fanning groups out on it right up to their release
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-        with self._cv:
-            backend, self._backend = self._backend, None
         if backend is not None:
             backend.close()
 
@@ -172,13 +184,17 @@ class QueryRouter:
                 backend.close()
                 raise ServingError("router is closed; cannot swap backends")
             old, self._backend = self._backend, backend
-            deadline = time.monotonic() + drain_timeout
-            while self._inflight.get(old, 0) > 0:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                self._cv.wait(remaining)
+            self._drain_locked(old, drain_timeout)
         old.close()
+
+    def _drain_locked(self, backend: ShardBackend, timeout: float) -> None:
+        """Wait (``_cv`` held) until ``backend`` has no in-flight batches."""
+        deadline = time.monotonic() + timeout
+        while self._inflight.get(backend, 0) > 0:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self._cv.wait(remaining)
 
     def _acquire(self) -> ShardBackend:
         with self._cv:
@@ -268,10 +284,20 @@ class QueryRouter:
 
         if self.workers > 1 and len(groups) > 1:
             pool = self._pool()
-            for future in [
-                pool.submit(score_group, shard_id) for shard_id in groups
-            ]:
-                future.result()
+            futures = [pool.submit(score_group, shard_id) for shard_id in groups]
+            # wait for EVERY sibling before surfacing an error: raising
+            # on the first failure would release the backend while
+            # straggler groups still score on it, letting a concurrent
+            # swap()/close() tear the backend down under them
+            first_error: BaseException | None = None
+            for future in futures:
+                try:
+                    future.result()
+                except BaseException as exc:  # noqa: BLE001 — re-raised below
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
         else:
             for shard_id in groups:
                 score_group(shard_id)

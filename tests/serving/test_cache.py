@@ -1,0 +1,155 @@
+"""ResultCache semantics: LRU order, TTL expiry, atomic invalidation.
+
+The cache sits in front of every frontend ranking, so its contract is
+load-bearing for correctness: a hit must be the exact object cached
+under the exact five-part key, expiry must count as a miss, and
+invalidation must be total.  The clock is injected so TTL tests are
+deterministic — no sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving import ResultCache, result_key
+
+
+def key(i: int, digest: str = "snap") -> tuple:
+    return result_key(digest, "family", f"q{i}", 5, "univ")
+
+
+class TestResultKey:
+    def test_every_component_distinguishes(self):
+        base = result_key("d", "c", "q", 5, "u")
+        assert result_key("D", "c", "q", 5, "u") != base
+        assert result_key("d", "C", "q", 5, "u") != base
+        assert result_key("d", "c", "Q", 5, "u") != base
+        assert result_key("d", "c", "q", 6, "u") != base
+        assert result_key("d", "c", "q", None, "u") != base
+        assert result_key("d", "c", "q", 5, "U") != base
+        assert result_key("d", "c", "q", 5, "u") == base
+
+    def test_tuple_node_ids_stay_hashable(self):
+        assert hash(result_key("d", "c", ("user", 7), 5, "u"))
+
+
+class TestLRU:
+    def test_hit_returns_cached_value(self):
+        cache = ResultCache(max_size=4)
+        cache.put(key(1), [("a", 1.0)])
+        assert cache.get(key(1)) == [("a", 1.0)]
+        assert cache.get(key(2)) is None
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = ResultCache(max_size=2)
+        cache.put(key(1), "one")
+        cache.put(key(2), "two")
+        assert cache.get(key(1)) == "one"  # 1 is now MRU
+        cache.put(key(3), "three")  # evicts 2, not 1
+        assert cache.get(key(2)) is None
+        assert cache.get(key(1)) == "one"
+        assert cache.get(key(3)) == "three"
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency_and_value(self):
+        cache = ResultCache(max_size=2)
+        cache.put(key(1), "one")
+        cache.put(key(2), "two")
+        cache.put(key(1), "uno")  # refresh, no growth
+        cache.put(key(3), "three")  # evicts 2
+        assert cache.get(key(1)) == "uno"
+        assert cache.get(key(2)) is None
+        assert len(cache) == 2
+
+    def test_zero_size_disables_caching(self):
+        cache = ResultCache(max_size=0)
+        cache.put(key(1), "one")
+        assert cache.get(key(1)) is None
+        assert len(cache) == 0
+
+
+class TestTTL:
+    def test_entry_expires_exactly_at_ttl(self):
+        now = [0.0]
+        cache = ResultCache(max_size=8, ttl=10.0, clock=lambda: now[0])
+        cache.put(key(1), "one")
+        now[0] = 9.999
+        assert cache.get(key(1)) == "one"
+        now[0] = 10.0
+        assert cache.get(key(1)) is None
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0  # removed in place, not just masked
+
+    def test_refresh_restarts_the_clock(self):
+        now = [0.0]
+        cache = ResultCache(max_size=8, ttl=10.0, clock=lambda: now[0])
+        cache.put(key(1), "one")
+        now[0] = 8.0
+        cache.put(key(1), "one")
+        now[0] = 12.0
+        assert cache.get(key(1)) == "one"
+
+    def test_no_ttl_means_no_expiry(self):
+        now = [0.0]
+        cache = ResultCache(max_size=8, ttl=None, clock=lambda: now[0])
+        cache.put(key(1), "one")
+        now[0] = 1e12
+        assert cache.get(key(1)) == "one"
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(ttl=0.0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl=-1.0)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_everything_and_counts(self):
+        cache = ResultCache(max_size=8)
+        for i in range(5):
+            cache.put(key(i), i)
+        assert cache.invalidate() == 5
+        assert len(cache) == 0
+        for i in range(5):
+            assert cache.get(key(i)) is None
+        assert cache.stats.invalidations == 1
+
+    def test_new_digest_misses_without_invalidation(self):
+        # the correctness half of swap coherence: even an
+        # un-invalidated pre-swap entry cannot answer a post-swap key
+        cache = ResultCache(max_size=8)
+        cache.put(key(1, digest="before"), "stale")
+        assert cache.get(key(1, digest="after")) is None
+        assert cache.get(key(1, digest="before")) == "stale"
+
+
+class TestConcurrency:
+    def test_hammering_keeps_invariants(self):
+        cache = ResultCache(max_size=32, ttl=None)
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(500):
+                    j = (seed * 31 + i) % 64
+                    cache.put(key(j), j)
+                    got = cache.get(key(j))
+                    assert got is None or got == j
+                    if i % 100 == 0:
+                        cache.invalidate()
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats
+        assert stats.hits + stats.misses == 8 * 500

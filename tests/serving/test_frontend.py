@@ -1,0 +1,514 @@
+"""Query frontend: coalesced batching parity, caching, hot reload, HTTP.
+
+The frontend's one hard promise: a query that rode a dynamic batch
+returns *bit-identical* results to calling ``query_many`` directly —
+for every k, every backend transport, and on both sides of a live
+snapshot reload.  Everything else here (cache coherence across swaps,
+eager validation keeping bad queries out of shared batches, the HTTP
+status mapping) defends that promise's edges.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import QueryError, ServingError
+from repro.index.delta import GraphDelta
+from repro.serving import (
+    BatchCoalescer,
+    FrontendConfig,
+    FrontendServer,
+    QueryFrontend,
+    ResultCache,
+)
+from repro.serving.frontend import parse_listen
+from tests.serving.test_facade_sharded import toy_engine
+
+K_VALUES = (1, 5, 16)
+
+
+@pytest.fixture
+def thread_engine():
+    engine, ds = toy_engine(shards=2, serving_workers=2)
+    engine.fit("family", labels=ds.class_labels("family"), num_examples=40)
+    yield engine, ds
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def process_engine():
+    engine, ds = toy_engine(
+        shards=2, serving_workers=2, serving_backend="process", replicas=1
+    )
+    engine.fit("family", labels=ds.class_labels("family"), num_examples=40)
+    yield engine, ds
+    engine.close()
+
+
+def frontend_for(engine, **overrides) -> QueryFrontend:
+    defaults = dict(max_batch=4, max_delay_ms=5.0, cache_size=64)
+    defaults.update(overrides)
+    return QueryFrontend(engine, config=FrontendConfig(**defaults))
+
+
+def query_all_concurrently(frontend, queries, k):
+    """Every query from its own thread — the coalescer's real workload."""
+    results: dict = {}
+    errors: list[BaseException] = []
+
+    def one(query) -> None:
+        try:
+            results[query] = frontend.query("family", query, k=k)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=one, args=(q,)) for q in queries]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return results
+
+
+class TestCoalescer:
+    def test_full_batch_flushes_without_waiting(self):
+        batches: list[list] = []
+
+        def dispatch(_cls, queries, _k):
+            batches.append(list(queries))
+            return [[(q, 1.0)] for q in queries]
+
+        co = BatchCoalescer(dispatch, max_batch=3, max_delay=30.0)
+        try:
+            futures = [co.submit("c", f"q{i}", 5) for i in range(3)]
+            # max_delay is 30s: only the size trigger can flush this
+            assert [f.result(timeout=5) for f in futures] == [
+                [("q0", 1.0)], [("q1", 1.0)], [("q2", 1.0)],
+            ]
+            assert batches == [["q0", "q1", "q2"]]
+        finally:
+            co.close()
+
+    def test_delay_flushes_partial_batch(self):
+        def dispatch(_cls, queries, _k):
+            return [[(q, 1.0)] for q in queries]
+
+        co = BatchCoalescer(dispatch, max_batch=1000, max_delay=0.02)
+        try:
+            future = co.submit("c", "lonely", 5)
+            assert future.result(timeout=5) == [("lonely", 1.0)]
+        finally:
+            co.close()
+
+    def test_distinct_class_and_k_never_share_a_batch(self):
+        batches: list[tuple] = []
+
+        def dispatch(cls, queries, k):
+            batches.append((cls, list(queries), k))
+            return [[(q, 1.0)] for q in queries]
+
+        co = BatchCoalescer(dispatch, max_batch=10, max_delay=0.02)
+        try:
+            futures = [
+                co.submit("a", "q1", 5),
+                co.submit("a", "q2", 7),
+                co.submit("b", "q3", 5),
+            ]
+            for future in futures:
+                future.result(timeout=5)
+            assert sorted(b[:1] + b[2:] for b in batches) == [
+                ("a", 5), ("a", 7), ("b", 5),
+            ]
+        finally:
+            co.close()
+
+    def test_dispatch_error_fails_every_future_in_the_batch(self):
+        def dispatch(_cls, _queries, _k):
+            raise ServingError("fleet on fire")
+
+        co = BatchCoalescer(dispatch, max_batch=2, max_delay=30.0)
+        try:
+            futures = [co.submit("c", f"q{i}", 5) for i in range(2)]
+            for future in futures:
+                with pytest.raises(ServingError, match="fleet on fire"):
+                    future.result(timeout=5)
+        finally:
+            co.close()
+
+    def test_wrong_cardinality_is_a_serving_error(self):
+        co = BatchCoalescer(lambda *_: [], max_batch=1, max_delay=30.0)
+        try:
+            with pytest.raises(ServingError, match="0 rankings"):
+                co.submit("c", "q", 5).result(timeout=5)
+        finally:
+            co.close()
+
+    def test_close_flushes_pending_then_rejects(self):
+        def dispatch(_cls, queries, _k):
+            return [[(q, 1.0)] for q in queries]
+
+        co = BatchCoalescer(dispatch, max_batch=1000, max_delay=30.0)
+        future = co.submit("c", "pending", 5)
+        co.close()
+        assert future.result(timeout=5) == [("pending", 1.0)]
+        with pytest.raises(ServingError, match="closed"):
+            co.submit("c", "late", 5)
+
+
+class TestBatchingParity:
+    @pytest.mark.parametrize("k", K_VALUES)
+    def test_thread_backend_parity(self, thread_engine, k):
+        engine, _ds = thread_engine
+        queries = list(engine.universe())
+        expected = {
+            q: r for q, r in zip(queries, engine.query_many("family", queries, k=k))
+        }
+        with frontend_for(engine, cache_size=0) as frontend:
+            assert query_all_concurrently(frontend, queries, k) == expected
+
+    @pytest.mark.parametrize("k", K_VALUES)
+    def test_process_backend_parity(self, process_engine, k):
+        engine, _ds = process_engine
+        queries = list(engine.universe())
+        expected = {
+            q: r for q, r in zip(queries, engine.query_many("family", queries, k=k))
+        }
+        with frontend_for(engine, cache_size=0) as frontend:
+            assert query_all_concurrently(frontend, queries, k) == expected
+
+    def test_batches_actually_coalesce(self, thread_engine):
+        engine, _ds = thread_engine
+        queries = list(engine.universe())
+        with frontend_for(
+            engine, cache_size=0, max_batch=len(queries), max_delay_ms=50.0
+        ) as frontend:
+            query_all_concurrently(frontend, queries, 3)
+            stats = frontend.stats()["batching"]
+            assert stats["submitted"] == len(queries)
+            # 5 concurrent queries into a 50ms window: strictly fewer
+            # dispatches than queries, or the coalescer does nothing
+            assert stats["batches"] < len(queries)
+            assert stats["largest_batch"] > 1
+
+    def test_bad_query_rejected_before_joining_a_batch(self, thread_engine):
+        engine, _ds = thread_engine
+        with frontend_for(engine) as frontend:
+            with pytest.raises(QueryError):
+                frontend.query("family", "NotANode", k=3)
+            with pytest.raises(QueryError):
+                frontend.query("family", "Music", k=3)  # off-anchor
+            with pytest.raises(ValueError):
+                frontend.query("family", "Kate", k=-1)
+            # nothing was enqueued, so nothing was dispatched
+            assert frontend.stats()["batching"]["submitted"] == 0
+            # and a good neighbour still serves
+            assert frontend.query("family", "Kate", k=3) == engine.query(
+                "family", "Kate", k=3
+            )
+
+
+class TestCaching:
+    def test_repeat_query_hits_the_cache(self, thread_engine):
+        engine, _ds = thread_engine
+        with frontend_for(engine) as frontend:
+            first = frontend.query("family", "Kate", k=3)
+            again = frontend.query("family", "Kate", k=3)
+            assert again == first
+            stats = frontend.stats()
+            assert stats["cache"]["hits"] == 1
+            assert stats["batching"]["submitted"] == 1  # second never dispatched
+
+    def test_distinct_k_distinct_entries(self, thread_engine):
+        engine, _ds = thread_engine
+        with frontend_for(engine) as frontend:
+            assert frontend.query("family", "Kate", k=1) != frontend.query(
+                "family", "Kate", k=3
+            )
+            assert frontend.stats()["cache"]["hits"] == 0
+
+    def test_ttl_expiry_recomputes(self, thread_engine):
+        engine, _ds = thread_engine
+        clock = [0.0]
+        cache = ResultCache(max_size=64, ttl=10.0, clock=lambda: clock[0])
+        with QueryFrontend(
+            engine,
+            config=FrontendConfig(max_batch=4, max_delay_ms=1.0),
+            cache=cache,
+        ) as frontend:
+            first = frontend.query("family", "Kate", k=3)
+            clock[0] = 11.0
+            assert frontend.query("family", "Kate", k=3) == first
+            assert cache.stats.expirations == 1
+            assert frontend.stats()["batching"]["submitted"] == 2
+
+    def test_disabled_cache_always_dispatches(self, thread_engine):
+        engine, _ds = thread_engine
+        with frontend_for(engine, cache_size=0) as frontend:
+            frontend.query("family", "Kate", k=3)
+            frontend.query("family", "Kate", k=3)
+            assert frontend.stats()["batching"]["submitted"] == 2
+
+
+class TestHotReload:
+    def _publish_updated_snapshot(self, tmp_path: Path, labels):
+        """A second engine applies a delta and publishes snapshot v2."""
+        publisher, _ds = toy_engine(shards=2, serving_workers=2)
+        publisher.fit("family", labels=labels, num_examples=40)
+        delta = (
+            GraphDelta()
+            .add_node("Mia", "user")
+            .add_edge("Mia", "College A")
+            .add_edge("Mia", "Physics")
+        )
+        publisher.apply_updates(delta)
+        snapshot = publisher.save_index(tmp_path / "v2")
+        return publisher, snapshot
+
+    @pytest.mark.parametrize("k", K_VALUES)
+    def test_parity_before_and_after_reload(self, thread_engine, tmp_path, k):
+        engine, ds = thread_engine
+        labels = ds.class_labels("family")
+        publisher, snapshot = self._publish_updated_snapshot(tmp_path, labels)
+        with frontend_for(engine, cache_size=0) as frontend:
+            before = list(engine.universe())
+            expected = {
+                q: r
+                for q, r in zip(
+                    before, publisher.query_many("family", before, k=k)
+                )
+            }
+            outcome = frontend.reload(snapshot)
+            after = list(engine.universe())
+            assert "Mia" in after  # update-log suffix replayed onto the graph
+            expected["Mia"] = publisher.query_many("family", ["Mia"], k=k)[0]
+            assert query_all_concurrently(frontend, after, k) == expected
+            assert outcome["digest"] == frontend.digest
+        publisher.close()
+
+    def test_reload_advances_digest_and_invalidates(
+        self, thread_engine, tmp_path
+    ):
+        engine, ds = thread_engine
+        labels = ds.class_labels("family")
+        publisher, snapshot = self._publish_updated_snapshot(tmp_path, labels)
+        with frontend_for(engine) as frontend:
+            stale = frontend.query("family", "Kate", k=3)
+            old_digest = frontend.digest
+            outcome = frontend.reload(snapshot)
+            assert outcome["digest"] != old_digest
+            assert outcome["invalidated"] == 1
+            # post-swap answers come from the new snapshot, not the cache
+            fresh = frontend.query("family", "Kate", k=3)
+            assert fresh == publisher.query_many("family", ["Kate"], k=3)[0]
+            assert frontend.stats()["cache"]["hits"] == 0
+            assert stale == stale  # the pre-swap object is orphaned, not served
+        publisher.close()
+
+    def test_reload_during_inflight_batch_never_caches_cross_digest(
+        self, thread_engine, tmp_path
+    ):
+        # a reload landing between key capture and batch completion must
+        # not memoise the (new-snapshot) result under the old digest
+        engine, ds = thread_engine
+        labels = ds.class_labels("family")
+        publisher, snapshot = self._publish_updated_snapshot(tmp_path, labels)
+        cache = ResultCache(max_size=64)
+        gate = threading.Event()
+        release = threading.Event()
+        real_query_many = engine.query_many
+
+        def gated_query_many(*args, **kwargs):
+            gate.set()
+            release.wait(timeout=10)
+            return real_query_many(*args, **kwargs)
+
+        engine.query_many = gated_query_many
+        try:
+            with QueryFrontend(
+                engine,
+                config=FrontendConfig(max_batch=1, max_delay_ms=0.0),
+                cache=cache,
+            ) as frontend:
+                result: list = []
+                thread = threading.Thread(
+                    target=lambda: result.append(
+                        frontend.query("family", "Kate", k=3)
+                    )
+                )
+                thread.start()
+                assert gate.wait(timeout=10)
+                engine.query_many = real_query_many
+                frontend.reload(snapshot)
+                release.set()
+                thread.join(timeout=10)
+                assert result
+                assert len(cache) == 0  # the in-flight result was not cached
+        finally:
+            engine.query_many = real_query_many
+            release.set()
+            publisher.close()
+
+    def test_process_backend_reload_parity(self, tmp_path):
+        engine, ds = toy_engine(
+            shards=2, serving_workers=2, serving_backend="process", replicas=1
+        )
+        labels = ds.class_labels("family")
+        engine.fit("family", labels=labels, num_examples=40)
+        publisher, snapshot = self._publish_updated_snapshot(tmp_path, labels)
+        try:
+            with frontend_for(engine, cache_size=0) as frontend:
+                assert frontend.query("family", "Kate", k=5)
+                frontend.reload(snapshot)
+                queries = list(engine.universe())
+                expected = {
+                    q: r
+                    for q, r in zip(
+                        queries, publisher.query_many("family", queries, k=5)
+                    )
+                }
+                assert query_all_concurrently(frontend, queries, 5) == expected
+        finally:
+            publisher.close()
+            engine.close()
+
+    def test_watch_picks_up_published_snapshot(self, thread_engine, tmp_path):
+        engine, ds = thread_engine
+        labels = ds.class_labels("family")
+        with frontend_for(engine) as frontend:
+            old_digest = frontend.digest
+            frontend.watch(tmp_path / "live", poll_interval=0.05)
+            publisher, snapshot = self._publish_updated_snapshot(
+                tmp_path, labels
+            )
+            snapshot.rename(tmp_path / "live")
+            deadline = time.monotonic() + 10.0
+            while frontend.digest == old_digest:
+                assert time.monotonic() < deadline, "watcher never reloaded"
+                time.sleep(0.05)
+            assert frontend.query("family", "Mia", k=3) == (
+                publisher.query_many("family", ["Mia"], k=3)[0]
+            )
+            publisher.close()
+
+
+class TestConfig:
+    def test_env_defaults_and_flag_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FRONTEND_MAX_BATCH", "7")
+        monkeypatch.setenv("REPRO_FRONTEND_MAX_DELAY_MS", "1.5")
+        monkeypatch.setenv("REPRO_FRONTEND_CACHE_SIZE", "99")
+        monkeypatch.setenv("REPRO_FRONTEND_CACHE_TTL", "60")
+        config = FrontendConfig.from_env()
+        assert (config.max_batch, config.max_delay_ms) == (7, 1.5)
+        assert (config.cache_size, config.cache_ttl) == (99, 60.0)
+        override = FrontendConfig.from_env(max_batch=3, cache_ttl=5.0)
+        assert (override.max_batch, override.cache_ttl) == (3, 5.0)
+        assert override.cache_size == 99  # env still fills the gaps
+
+    def test_unset_env_falls_back_to_defaults(self, monkeypatch):
+        for name in (
+            "REPRO_FRONTEND_MAX_BATCH",
+            "REPRO_FRONTEND_MAX_DELAY_MS",
+            "REPRO_FRONTEND_CACHE_SIZE",
+            "REPRO_FRONTEND_CACHE_TTL",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        config = FrontendConfig.from_env()
+        assert (config.max_batch, config.max_delay_ms) == (32, 2.0)
+        assert (config.cache_size, config.cache_ttl) == (4096, None)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            FrontendConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            FrontendConfig(max_delay_ms=-1.0)
+
+    def test_parse_listen(self):
+        assert parse_listen("127.0.0.1:8766") == ("127.0.0.1", 8766)
+        assert parse_listen("[::1]:80") == ("[::1]", 80)
+        for bad in ("8766", "host:", ":80", "host:abc"):
+            with pytest.raises(ValueError):
+                parse_listen(bad)
+
+
+class TestHTTP:
+    @pytest.fixture
+    def served(self, thread_engine):
+        engine, _ds = thread_engine
+        with frontend_for(engine) as frontend:
+            with FrontendServer(frontend, port=0).start() as server:
+                host, port = server.address
+                yield engine, frontend, f"http://{host}:{port}"
+
+    def _get(self, base: str, path: str):
+        try:
+            with urllib.request.urlopen(base + path, timeout=10) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def _post(self, base: str, path: str, doc: dict):
+        request = urllib.request.Request(
+            base + path,
+            data=json.dumps(doc).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_health_and_stats(self, served):
+        _engine, frontend, base = served
+        status, doc = self._get(base, "/health")
+        assert status == 200
+        assert doc == {"status": "ok", "digest": frontend.digest}
+        status, doc = self._get(base, "/stats")
+        assert status == 200
+        assert doc["digest"] == frontend.digest
+        assert "cache" in doc and "batching" in doc
+
+    def test_get_query_matches_engine(self, served):
+        engine, _frontend, base = served
+        status, doc = self._get(base, "/query?class=family&query=Kate&k=3")
+        assert status == 200
+        assert [tuple(r) for r in doc["results"]] == engine.query(
+            "family", "Kate", k=3
+        )
+        status, full = self._get(base, "/query?class=family&query=Kate&k=none")
+        assert status == 200 and full["k"] is None
+        assert len(full["results"]) == len(engine.universe()) - 1
+
+    def test_post_query_matches_engine(self, served):
+        engine, _frontend, base = served
+        status, doc = self._post(
+            base, "/query", {"class": "family", "query": "Kate", "k": 3}
+        )
+        assert status == 200
+        assert [tuple(r) for r in doc["results"]] == engine.query(
+            "family", "Kate", k=3
+        )
+
+    def test_error_statuses(self, served):
+        _engine, _frontend, base = served
+        assert self._get(base, "/query?class=family&query=Ghost")[0] == 400
+        assert self._get(base, "/query?class=nope&query=Kate")[0] == 404
+        assert self._get(base, "/query?class=family")[0] == 400
+        assert self._get(base, "/query?class=family&query=Kate&k=x")[0] == 400
+        assert self._get(base, "/nowhere")[0] == 404
+        assert self._post(base, "/reload", {"snapshot": "/no/such/dir"})[0] == 400
+
+    def test_reload_endpoint_refreshes(self, served):
+        _engine, frontend, base = served
+        status, doc = self._post(base, "/reload", {})
+        assert status == 200
+        assert doc["digest"] == frontend.digest
