@@ -1,0 +1,359 @@
+"""The analysis framework: source model, checker registry, runner.
+
+A checker is an :class:`ast`-walking rule with a stable ``rule`` id.
+:func:`run_lint` parses every target file once into a
+:class:`SourceFile` (tree, parent links, comment-derived annotations),
+runs each registered checker over the files it applies to, applies
+per-line suppressions, and folds everything into a
+:class:`LintReport` — including the meta-findings that keep the
+suppression mechanism honest (a suppression must carry a
+justification, and must actually suppress something).
+
+Suppression grammar (same line as the finding, or alone on the line
+directly above it)::
+
+    # repro-lint: ignore[rule-a,rule-b] -- justification text
+
+The justification is mandatory: silencing an invariant checker is an
+auditable decision, not a formatting fix.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: rule id of the suppression meta-checks themselves (not suppressible)
+SUPPRESSION_RULE = "suppression"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``repro-lint: ignore[...]`` comment."""
+
+    line: int  #: the source line the comment sits on
+    rules: tuple[str, ...]
+    reason: str | None
+    standalone: bool  #: comment is alone on its line (covers the next line)
+    used: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        target = self.line + 1 if self.standalone else self.line
+        return finding.line == target and finding.rule in self.rules
+
+
+class SourceFile:
+    """One parsed module: text, AST with parent links, suppressions."""
+
+    def __init__(self, path: Path, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=rel)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        #: real comment tokens only (a suppression example quoted in a
+        #: docstring must not register); line -> (text, standalone)
+        self.comments = self._tokenize_comments()
+        self.suppressions = self._parse_suppressions()
+        #: dotted module path ("repro.serving.router"); best effort from
+        #: the file path, used by checkers to scope themselves
+        self.module = self._module_name()
+
+    def _module_name(self) -> str:
+        parts = list(Path(self.rel).with_suffix("").parts)
+        for marker in ("src", "repro"):
+            if marker in parts:
+                parts = parts[parts.index(marker):]
+                if marker == "src":
+                    parts = parts[1:]
+                break
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def _tokenize_comments(self) -> dict[int, tuple[str, bool]]:
+        comments: dict[int, tuple[str, bool]] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                lineno, col = token.start
+                standalone = not token.line[:col].strip()
+                comments[lineno] = (token.string, standalone)
+        except tokenize.TokenizeError:  # pragma: no cover - ast parsed it
+            pass
+        return comments
+
+    def _parse_suppressions(self) -> list[Suppression]:
+        suppressions = []
+        for lineno, (comment, standalone) in sorted(self.comments.items()):
+            match = _SUPPRESS_RE.search(comment)
+            if match is None:
+                continue
+            rules = tuple(
+                rule.strip() for rule in match.group("rules").split(",")
+                if rule.strip()
+            )
+            suppressions.append(
+                Suppression(
+                    line=lineno,
+                    rules=rules,
+                    reason=match.group("reason"),
+                    standalone=standalone,
+                )
+            )
+        return suppressions
+
+    # -- AST conveniences ----------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module node."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def line_comment(self, lineno: int) -> str | None:
+        """The real ``#`` comment token on a 1-based source line, if any."""
+        entry = self.comments.get(lineno)
+        return None if entry is None else entry[0]
+
+
+class Checker:
+    """Base class: one rule, one ``check`` pass over one file."""
+
+    #: stable rule identifier used in findings and suppressions
+    rule: str = ""
+    #: one-line human description (surfaced by ``repro lint --rules``)
+    description: str = ""
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Whether this checker runs on ``src`` (default: every file)."""
+        return True
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, src: SourceFile, node: ast.AST, message: str, rule: str | None = None
+    ) -> Finding:
+        return Finding(
+            path=src.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule or self.rule,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the default suite."""
+    if not cls.rule:
+        raise ValueError(f"checker {cls.__name__} must declare a rule id")
+    if cls.rule == SUPPRESSION_RULE:
+        raise ValueError(f"rule id {SUPPRESSION_RULE!r} is reserved")
+    if cls.rule in _REGISTRY:
+        raise ValueError(f"duplicate checker rule id {cls.rule!r}")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def all_checkers() -> dict[str, type[Checker]]:
+    """The registered checkers, keyed by rule id."""
+    # the checker modules register themselves on import
+    import repro.analysis  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules: tuple[str, ...] = ()
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "rules": list(self.rules),
+            "errors": list(self.errors),
+            "findings": [finding.to_json_dict() for finding in self.findings],
+        }
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def _relative(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Iterable[str] | None = None,
+    root: str | Path | None = None,
+) -> LintReport:
+    """Run the checker suite over files/directories; the library API.
+
+    ``rules`` restricts the suite to a subset of rule ids (the
+    suppression meta-checks always run).  ``root`` rebases finding
+    paths (defaults to the common usage: paths given relative to the
+    current directory stay as given).
+    """
+    registry = all_checkers()
+    if rules is not None:
+        unknown = sorted(set(rules) - set(registry))
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s) {unknown}; available: {sorted(registry)}"
+            )
+        registry = {rule: registry[rule] for rule in rules}
+    checkers = [cls() for _rule, cls in sorted(registry.items())]
+    root_path = None if root is None else Path(root)
+    report = LintReport(rules=tuple(sorted(registry)))
+    seen: set[Path] = set()
+    for path in _iter_python_files([Path(p) for p in paths]):
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        rel = _relative(path, root_path)
+        try:
+            src = SourceFile(path, rel, path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.errors.append(f"{rel}: unparseable: {exc}")
+            continue
+        report.files_checked += 1
+        raw: list[Finding] = []
+        for checker in checkers:
+            if checker.applies_to(src):
+                raw.extend(checker.check(src))
+        report.findings.extend(_apply_suppressions(src, raw))
+    report.findings.sort()
+    return report
+
+
+def _apply_suppressions(
+    src: SourceFile, raw: list[Finding]
+) -> list[Finding]:
+    """Drop suppressed findings; add the suppression meta-findings."""
+    kept = []
+    for finding in raw:
+        suppressed = False
+        for suppression in src.suppressions:
+            if suppression.covers(finding):
+                suppression.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+    for suppression in src.suppressions:
+        if not suppression.rules:
+            kept.append(
+                Finding(
+                    src.rel, suppression.line, 1, SUPPRESSION_RULE,
+                    "suppression names no rules: use "
+                    "`# repro-lint: ignore[rule-id] -- reason`",
+                )
+            )
+            continue
+        if not suppression.reason:
+            kept.append(
+                Finding(
+                    src.rel, suppression.line, 1, SUPPRESSION_RULE,
+                    f"suppression of {list(suppression.rules)} has no "
+                    "justification: append `-- why this is safe`",
+                )
+            )
+        if not suppression.used:
+            kept.append(
+                Finding(
+                    src.rel, suppression.line, 1, SUPPRESSION_RULE,
+                    f"unused suppression of {list(suppression.rules)}: "
+                    "nothing on this line triggers those rules",
+                )
+            )
+    return kept
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable report (one finding per line + a summary)."""
+    lines = [str(finding) for finding in report.findings]
+    lines.extend(f"error: {error}" for error in report.errors)
+    status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
+    lines.append(
+        f"[repro lint] {report.files_checked} file(s), "
+        f"{len(report.rules)} rule(s): {status}"
+        + (f", {len(report.errors)} error(s)" if report.errors else "")
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report (stable keys, sorted findings)."""
+    return json.dumps(report.to_json_dict(), indent=2, sort_keys=True)

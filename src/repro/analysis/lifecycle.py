@@ -1,0 +1,256 @@
+"""Resource-lifecycle checker: constructions must reach a release path.
+
+PR 6 and PR 7 both fixed ad-hoc leaks of exactly this shape: a
+``ThreadPoolExecutor``/socket/``Popen``/temp dir constructed on one
+path and forgotten on another (the facade re-``prepare()`` leaking the
+previous router's pool was the canonical one).  This checker enforces
+the structural property at every construction site of a tracked
+resource type:
+
+- construction inside a ``with`` item → owned by the block;
+- construction directly in a ``return``/``yield`` or as a call
+  argument → ownership transferred to the caller/callee;
+- assignment to a local name → somewhere later in the same function
+  that name must be released (``close``/``shutdown``/``cleanup``/
+  ``kill``/``terminate``/``stop``/``server_close``/``unlink``),
+  returned/yielded, passed to a call, or stored into an attribute,
+  container or subscript (ownership transferred);
+- assignment to ``self.<attr>`` → somewhere in the class the attribute
+  must be released the same way, or read back out (handed to another
+  owner).  A write-only resource attribute is a leak by construction;
+- assignment to another object's attribute (``handle.proc = ...``) →
+  ownership transfers to that object's lifecycle.
+
+The checker is intentionally conservative-but-shallow: it proves a
+release *path exists*, not that every control flow takes it — the
+latter is what the serving lifecycle tests pin at runtime.  Sites
+where ownership genuinely ends elsewhere carry a justified
+suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import Checker, Finding, SourceFile, register
+
+#: callables whose return value is a resource needing a release path
+RESOURCE_CONSTRUCTORS = frozenset(
+    {
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "Popen",
+        "socket",  # socket.socket(...)
+        "create_connection",
+        "TemporaryDirectory",
+        "NamedTemporaryFile",
+        "TemporaryFile",
+        "mkstemp",
+        "open",
+        "ThreadingHTTPServer",
+        "HTTPServer",
+    }
+)
+
+#: method names that count as releasing a resource
+RELEASE_METHODS = frozenset(
+    {
+        "close",
+        "shutdown",
+        "cleanup",
+        "kill",
+        "terminate",
+        "stop",
+        "server_close",
+        "unlink",
+        "release",
+        "__exit__",
+    }
+)
+
+
+def _constructor_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    else:
+        return None
+    return name if name in RESOURCE_CONSTRUCTORS else None
+
+
+def _enclosing_function(src: SourceFile, node: ast.AST) -> ast.AST:
+    for ancestor in src.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return src.tree
+
+
+def _enclosing_class(src: SourceFile, node: ast.AST) -> ast.ClassDef | None:
+    for ancestor in src.ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None
+
+
+def _name_released_in(func: ast.AST, name: str) -> bool:
+    """Whether ``name`` reaches a release/transfer anywhere in ``func``."""
+    for node in ast.walk(func):
+        # name.close() / name.proc.kill() ...
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in RELEASE_METHODS
+            and _rooted_at(node.func.value, name)
+        ):
+            return True
+        # transferred: return name / yield name / f(name)
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _mentions(node.value, name):
+                return True
+        if isinstance(node, ast.Call) and any(
+            _mentions(arg, name) for arg in list(node.args) + [
+                kw.value for kw in node.keywords
+            ]
+        ):
+            return True
+        # stored into an attribute/container/subscript: new owner
+        if isinstance(node, ast.Assign) and _mentions(node.value, name):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return True
+        if isinstance(node, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
+            if isinstance(node, ast.Dict):
+                parts = [v for v in node.values if v is not None]
+            else:
+                parts = list(node.elts)
+            if any(
+                isinstance(part, ast.Name) and part.id == name
+                for part in parts
+            ):
+                return True
+    return False
+
+
+def _attr_released_in(cls: ast.AST, attr: str) -> bool:
+    """Whether ``self.<attr>`` reaches a release/read-out in ``cls``."""
+    for node in ast.walk(cls):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in RELEASE_METHODS
+            and _rooted_at_self_attr(node.func.value, attr)
+        ):
+            return True
+        # read back out anywhere except its own assignment: the value
+        # escapes to another owner (e.g. `pool, self._pool = self._pool,
+        # None` then `pool.shutdown()`)
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _rooted_at(node: ast.expr, name: str) -> bool:
+    """Whether an attribute chain bottoms out at Name(name)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _rooted_at_self_attr(node: ast.expr, attr: str) -> bool:
+    """Whether a chain bottoms out at ``self.<attr>``."""
+    while isinstance(node, ast.Attribute):
+        if (
+            node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+        node = node.value
+    return False
+
+
+def _mentions(node: ast.expr, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name
+        for sub in ast.walk(node)
+    )
+
+
+@register
+class ResourceLifecycleChecker(Checker):
+    """Executor/socket/process/file constructions must be releasable."""
+
+    rule = "resource-lifecycle"
+    description = (
+        "resource constructed without a reachable close/context-manager/"
+        "ownership-transfer path"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = _constructor_name(node)
+            if ctor is None:
+                continue
+            if not self._owned(src, node):
+                yield self.finding(
+                    src,
+                    node,
+                    f"`{ctor}(...)` has no reachable release path: use a "
+                    "`with` block, release the binding, or transfer "
+                    "ownership (return / store on an owner that closes it)",
+                )
+
+    def _owned(self, src: SourceFile, node: ast.Call) -> bool:
+        parent = src.parent(node)
+        # with X(...) as y:  /  with X(...):
+        if isinstance(parent, ast.withitem):
+            return True
+        # return X(...)  /  yield X(...)  — caller owns it now
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return True
+        # f(X(...)) or container literal — ownership transferred
+        if isinstance(
+            parent, (ast.Call, ast.List, ast.Tuple, ast.Dict, ast.Set, ast.keyword)
+        ):
+            return True
+        # open(...).read() — immediate leak unless suppressed
+        if isinstance(parent, ast.Attribute):
+            return False
+        if isinstance(parent, ast.Assign):
+            target = parent.targets[0]
+            if isinstance(parent.targets[0], (ast.Tuple, ast.List)):
+                # tuple unpack: give up precisely, demand a suppression
+                return False
+            if isinstance(target, ast.Name):
+                func = _enclosing_function(src, node)
+                return _name_released_in(func, target.id)
+            if isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ):
+                if target.value.id == "self":
+                    cls = _enclosing_class(src, node)
+                    if cls is not None:
+                        return _attr_released_in(cls, target.attr)
+                # handle.proc = Popen(...): stored on another object —
+                # ownership transfers to that object's lifecycle
+                return True
+            return False
+        if isinstance(parent, ast.AnnAssign):
+            target = parent.target
+            if isinstance(target, ast.Name):
+                func = _enclosing_function(src, node)
+                return _name_released_in(func, target.id)
+            return False
+        # bare expression statement: constructed and dropped
+        return False

@@ -1,0 +1,295 @@
+"""Lock-discipline checker: ``# guarded-by:`` annotated attributes.
+
+The serving tier's race fixes (PR 6/7 both shipped some) all reduce to
+one discipline: certain attributes may only be touched while holding a
+specific lock.  This checker makes the discipline declarative —
+
+Annotate the attribute where it is first assigned (normally in
+``__init__``)::
+
+    self._groups = {}            # guarded-by: _cv
+    self._backend = backend      # guarded-by: _cv (writes)
+
+and every later access anywhere in the class must sit lexically inside
+``with self._cv:`` (or an equivalent — see below).  The ``(writes)``
+mode checks stores only: the published-reference pattern, where a
+single writer mutates under the lock and readers take a benign
+point-in-time snapshot, is common in this codebase and explicitly
+supported rather than drowned in suppressions.
+
+Equivalences the checker understands:
+
+- *condition aliasing*: ``self._cv = threading.Condition(self._lock)``
+  makes holding ``_cv`` and holding ``_lock`` the same thing (a
+  condition wraps and acquires its lock), in both directions;
+- *caller-holds*: a helper documented to run under its caller's lock
+  is annotated on its ``def`` line::
+
+      def _drain_locked(self, ...):  # guarded-by-caller: _cv
+
+  Its body counts as holding the lock; the call sites are checked at
+  their own accesses, not here.
+- ``__init__`` is exempt (construction happens-before publication),
+  and so is ``__repr__`` (debug output; a torn read is acceptable and
+  annotating it would only teach people to hold locks in repr).
+
+The checker is *lexical* by receiver: ``handle.conn`` is guarded by
+``with handle.lock:`` for the same textual receiver ``handle``.  A
+closure that captures a guarded attribute is outside the enclosing
+``with`` by design — acquisition at definition time proves nothing
+about call time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.core import Checker, Finding, SourceFile, register
+
+_DECL_RE = re.compile(
+    r"#\s*guarded-by:\s*(?P<lock>\w+)\s*(?P<writes>\(writes\))?"
+)
+_CALLER_RE = re.compile(r"#\s*guarded-by-caller:\s*(?P<ref>\w+(?:\.\w+)?)")
+
+#: methods whose bodies are exempt from the discipline
+_EXEMPT_METHODS = frozenset({"__init__", "__repr__", "__del__"})
+
+
+@dataclass(frozen=True)
+class GuardDecl:
+    """One ``# guarded-by:`` declaration inside a class."""
+
+    attr: str
+    lock: str
+    writes_only: bool
+    line: int
+
+
+def _receiver_key(node: ast.expr) -> str | None:
+    """A textual key for simple receivers: ``self``, ``handle``, ..."""
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _ClassModel:
+    """Declarations, lock aliases and methods of one class body."""
+
+    def __init__(self, src: SourceFile, cls: ast.ClassDef | None):
+        self.src = src
+        self.cls = cls
+        self.decls: dict[str, GuardDecl] = {}
+        self.aliases: dict[str, set[str]] = {}
+        if cls is not None:
+            self._collect()
+
+    @classmethod
+    def merge(cls, models: list["_ClassModel"]) -> "_ClassModel":
+        """File-wide view; attrs with conflicting locks are dropped."""
+        merged = cls(models[0].src if models else None, None)  # type: ignore[arg-type]
+        conflicting: set[str] = set()
+        for model in models:
+            for attr, decl in model.decls.items():
+                existing = merged.decls.get(attr)
+                if existing is not None and existing.lock != decl.lock:
+                    conflicting.add(attr)
+                merged.decls[attr] = decl
+            for lock, peers in model.aliases.items():
+                merged.aliases.setdefault(lock, set()).update(peers)
+        for attr in conflicting:
+            merged.decls.pop(attr, None)
+        return merged
+
+    def _collect(self) -> None:
+        for node in ast.walk(self.cls):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and _receiver_key(target.value) == "self"
+                ):
+                    continue
+                # the annotation may trail any physical line of a
+                # multi-line assignment
+                match = None
+                end = getattr(node, "end_lineno", None) or node.lineno
+                for lineno in range(node.lineno, end + 1):
+                    comment = self.src.line_comment(lineno) or ""
+                    match = _DECL_RE.search(comment)
+                    if match:
+                        break
+                if match:
+                    self.decls[target.attr] = GuardDecl(
+                        attr=target.attr,
+                        lock=match.group("lock"),
+                        writes_only=match.group("writes") is not None,
+                        line=node.lineno,
+                    )
+                # condition aliasing: self.C = threading.Condition(self.L)
+                if (
+                    value is not None
+                    and isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "Condition"
+                    and value.args
+                    and isinstance(value.args[0], ast.Attribute)
+                    and _receiver_key(value.args[0].value) == "self"
+                ):
+                    a, b = target.attr, value.args[0].attr
+                    self.aliases.setdefault(a, {a}).add(b)
+                    self.aliases.setdefault(b, {b}).add(a)
+
+    def equivalent_locks(self, lock: str) -> set[str]:
+        return self.aliases.get(lock, {lock})
+
+
+@register
+class GuardedByChecker(Checker):
+    """``# guarded-by:`` attributes only touched under their lock."""
+
+    rule = "guarded-by"
+    description = (
+        "access to a `# guarded-by: <lock>` attribute outside a "
+        "matching `with <receiver>.<lock>:` block"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        models = [
+            _ClassModel(src, node)
+            for node in ast.walk(src.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        # two views of the declarations: `self.X` accesses check against
+        # the declaring class only, while `handle.X`-style accesses from
+        # *other* code in the file check against a merged map (the owner
+        # of the handle enforces the handle's discipline).  Attributes
+        # declared by several classes under different locks are dropped
+        # from the merged view rather than guessed at.
+        merged = _ClassModel.merge(models)
+        for model in models:
+            if model.decls:
+                yield from self._check_class(src, model, self_only=True)
+        if merged.decls:
+            yield from self._check_class(src, merged, self_only=False)
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, src: SourceFile, model: _ClassModel, self_only: bool
+    ) -> Iterator[Finding]:
+        for method in self._functions(src, model, self_only):
+            held_by_caller = self._caller_holds(src, method)
+            yield from self._check_function(
+                src, model, method, held_by_caller, self_only
+            )
+
+    def _functions(
+        self, src: SourceFile, model: _ClassModel, self_only: bool
+    ) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """The functions this pass checks (closures ride along inside)."""
+        if self_only:
+            bodies = [model.cls.body] if model.cls is not None else []
+        else:
+            bodies = [src.tree.body]
+            bodies.extend(
+                node.body
+                for node in ast.walk(src.tree)
+                if isinstance(node, ast.ClassDef)
+            )
+        for body in bodies:
+            for stmt in body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name not in _EXEMPT_METHODS
+                ):
+                    yield stmt
+
+    def _caller_holds(
+        self, src: SourceFile, method: ast.AST
+    ) -> frozenset[tuple[str, str]]:
+        comment = src.line_comment(method.lineno) or ""
+        match = _CALLER_RE.search(comment)
+        if not match:
+            return frozenset()
+        ref = match.group("ref")
+        receiver, _, lock = ref.rpartition(".")
+        return frozenset({(receiver or "self", lock)})
+
+    def _check_function(
+        self,
+        src: SourceFile,
+        model: _ClassModel,
+        func: ast.AST,
+        held_by_caller: frozenset[tuple[str, str]],
+        self_only: bool,
+    ) -> Iterator[Finding]:
+        # walk with an explicit stack so nested closures get checked as
+        # lock-free regions (lexical `with` containment stops at `def`)
+        for node, held in self._walk_holding(func, held_by_caller):
+            if not isinstance(node, ast.Attribute):
+                continue
+            receiver = _receiver_key(node.value)
+            if receiver is None or (receiver == "self") != self_only:
+                continue
+            decl = model.decls.get(node.attr)
+            if decl is None:
+                continue
+            is_store = isinstance(node.ctx, (ast.Store, ast.Del))
+            if decl.writes_only and not is_store:
+                continue
+            allowed = model.equivalent_locks(decl.lock)
+            if any(
+                lock in allowed and holder == receiver
+                for holder, lock in held
+            ):
+                continue
+            verb = "write to" if is_store else "read of"
+            yield self.finding(
+                src,
+                node,
+                f"{verb} `{receiver}.{node.attr}` (guarded by "
+                f"`{decl.lock}`, declared line {decl.line}) outside "
+                f"`with {receiver}.{decl.lock}:`",
+            )
+
+    def _walk_holding(
+        self, func: ast.AST, held_by_caller: frozenset[tuple[str, str]]
+    ) -> Iterator[tuple[ast.AST, frozenset[tuple[str, str]]]]:
+        """Yield (node, {(receiver, lock)} held at that node)."""
+        stack: list[tuple[ast.AST, frozenset[tuple[str, str]]]] = [
+            (func, held_by_caller)
+        ]
+        first = True
+        while stack:
+            node, held = stack.pop()
+            if not first:
+                yield node, held
+            first = False
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ) and node is not func:
+                # a closure: locks held at its *definition* site mean
+                # nothing at call time; restart with nothing held
+                held = frozenset()
+            acquired = held
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    expr = item.context_expr
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and _receiver_key(expr.value) is not None
+                    ):
+                        acquired = acquired | {
+                            (_receiver_key(expr.value), expr.attr)
+                        }
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, acquired))

@@ -1,0 +1,141 @@
+"""Wire-error taxonomy checker for the serving boundary.
+
+Everything that crosses a shard-worker connection is a length-prefixed
+JSON frame, and every error frame is rebuilt on the far side by
+``raise_remote_error`` — which can only resolve
+:class:`~repro.exceptions.ReproError` subclasses.  Any other exception
+type raised on the wire boundary either kills the worker loop or
+arrives at the router as an unresolvable name.  Three rules keep the
+boundary sound, checked in :data:`WIRE_MODULES`
+(``repro/serving/protocol.py`` and ``repro/serving/worker.py``):
+
+- ``raise SomeClass(...)`` must name a ``ReproError`` subclass (the
+  taxonomy is discovered from :mod:`repro.exceptions` at check time,
+  so new subclasses are allowed automatically).  Re-raises of a caught
+  binding (``raise exc``/bare ``raise``) are fine — they propagate,
+  they do not mint new wire types;
+- no bare ``except:`` — it swallows ``KeyboardInterrupt``/``SystemExit``
+  and turns operator Ctrl-C into a hung worker (this sub-check runs on
+  **every** file, not just the wire modules);
+- no exception smuggling: a handler broad enough to catch
+  ``BaseException`` may only exist behind an earlier
+  ``except (KeyboardInterrupt, SystemExit): raise`` arm in the same
+  ``try`` — otherwise interpreter-shutdown signals get serialised into
+  error envelopes and shipped to the router as data.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import Checker, Finding, SourceFile, register
+
+#: modules forming the serving wire boundary
+WIRE_MODULES = frozenset({"repro.serving.protocol", "repro.serving.worker"})
+
+_SHUTDOWN_EXCS = frozenset({"KeyboardInterrupt", "SystemExit", "GeneratorExit"})
+
+
+def _repro_error_names() -> frozenset[str]:
+    """All ReproError subclass names, discovered from the live taxonomy."""
+    from repro import exceptions
+
+    names = set()
+    for value in vars(exceptions).values():
+        if isinstance(value, type) and issubclass(
+            value, exceptions.ReproError
+        ):
+            names.add(value.__name__)
+    return frozenset(names)
+
+
+def _exc_class_names(node: ast.expr | None) -> list[str]:
+    """Class names named by an ``except`` clause type expression."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        names = []
+        for elt in node.elts:
+            names.extend(_exc_class_names(elt))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
+
+
+def _raised_class(node: ast.Raise) -> str | None:
+    """The class name a ``raise`` statement mints, if statically visible.
+
+    ``raise`` (bare) and ``raise exc`` (re-raise of a binding) return
+    ``None`` — they do not introduce a new type.
+    """
+    exc = node.exc
+    if exc is None:
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    if isinstance(exc, ast.Name) and exc.id[:1].isupper():
+        return exc.id
+    return None
+
+
+@register
+class WireErrorChecker(Checker):
+    """Serving wire boundary: ReproError-only, no bare/broad handlers."""
+
+    rule = "wire-errors"
+    description = (
+        "non-ReproError raise or exception smuggling on the serving "
+        "wire boundary; bare `except:` anywhere"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        on_wire = src.module in WIRE_MODULES
+        allowed = _repro_error_names() if on_wire else frozenset()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Try):
+                yield from self._check_try(src, node, on_wire)
+            elif on_wire and isinstance(node, ast.Raise):
+                raised = _raised_class(node)
+                if raised is not None and raised not in allowed:
+                    yield self.finding(
+                        src,
+                        node,
+                        f"`raise {raised}` on the wire boundary: only "
+                        "ReproError subclasses can cross the wire "
+                        "(raise_remote_error cannot resolve anything else)",
+                    )
+
+    def _check_try(
+        self, src: SourceFile, node: ast.Try, on_wire: bool
+    ) -> Iterator[Finding]:
+        shutdown_reraised = False
+        for handler in node.handlers:
+            names = _exc_class_names(handler.type)
+            if handler.type is None:
+                yield self.finding(
+                    src,
+                    handler,
+                    "bare `except:` swallows KeyboardInterrupt/SystemExit; "
+                    "catch Exception (or a ReproError subclass) instead",
+                )
+                continue
+            if names and set(names) <= _SHUTDOWN_EXCS and any(
+                isinstance(stmt, ast.Raise) and stmt.exc is None
+                for stmt in handler.body
+            ):
+                shutdown_reraised = True
+                continue
+            if on_wire and "BaseException" in names and not shutdown_reraised:
+                yield self.finding(
+                    src,
+                    handler,
+                    "`except BaseException` on the wire boundary without a "
+                    "preceding `except (KeyboardInterrupt, SystemExit): "
+                    "raise` arm smuggles shutdown signals into error frames",
+                )

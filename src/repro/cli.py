@@ -35,6 +35,7 @@ import argparse
 import dataclasses
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import EXPERIMENTS, QUICK_CONFIG, ExperimentConfig, OfflineRunner
 from repro.learning.examples import generate_triplets
@@ -54,13 +55,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*sorted(EXPERIMENTS), "all", "serve", "index", "shard-worker"],
+        choices=[
+            *sorted(EXPERIMENTS), "all", "serve", "index", "lint",
+            "shard-worker",
+        ],
         help=(
             "which table/figure to regenerate ('all' runs everything; "
             "'serve' runs the online phase as a batched query service; "
             "'index' manages snapshots — see `repro index --help`; "
-            "'shard-worker' serves one shard of a snapshot over a socket "
-            "— see `repro shard-worker --help`)"
+            "'lint' runs the invariant-analysis suite — see `repro lint "
+            "--help`; 'shard-worker' serves one shard of a snapshot over "
+            "a socket — see `repro shard-worker --help`)"
         ),
     )
     parser.add_argument(
@@ -912,11 +917,84 @@ def run_index(argv: list[str]) -> int:
     return 0
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro lint`` static-analysis verb."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "run the repository's invariant-analysis suite (determinism, "
+            "lock discipline, resource lifecycle, wire-error taxonomy, "
+            "API hygiene) over python sources"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="RULE[,RULE...]",
+        default=None,
+        help="comma-separated subset of rule ids to run",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def run_lint_cli(argv: list[str]) -> int:
+    """``repro lint``: exit 0 clean, 1 findings/errors, 2 usage."""
+    # lean import path, mirroring `shard-worker`: the analysis suite
+    # must stay importable without the experiments stack
+    from repro.analysis import all_checkers, format_json, format_text, run_lint
+
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule, cls in sorted(all_checkers().items()):
+            print(f"{rule}: {cls.description}")
+        return 0
+    rules = None
+    if args.rules is not None:
+        rules = [rule.strip() for rule in args.rules.split(",") if rule.strip()]
+    try:
+        report = run_lint(args.paths, rules=rules, root=Path.cwd())
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        format_json(report) if args.format == "json" else format_text(report)
+    )
+    print(rendered)
+    if args.output is not None:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    return 0 if report.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "index":
         return run_index(argv[1:])
+    if argv and argv[0] == "lint":
+        return run_lint_cli(argv[1:])
     if argv and argv[0] == "shard-worker":
         # lean import path: the worker process must not pay for the
         # experiments stack it never uses
@@ -925,7 +1003,7 @@ def main(argv: list[str] | None = None) -> int:
         return worker_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.experiment in ("index", "shard-worker"):
+    if args.experiment in ("index", "lint", "shard-worker"):
         # reachable when flags precede the command ("--quick index"):
         # these families have their own parsers and flag sets
         print(

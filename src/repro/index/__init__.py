@@ -42,10 +42,9 @@ from repro.index.vectors import (
 )
 
 __all__ = [
-    "FORMAT_VERSION",
-    "TRANSFORMS",
     "CompiledVectors",
     "DeltaStats",
+    "FORMAT_VERSION",
     "GraphDelta",
     "GraphEdit",
     "IndexBuildConfig",
@@ -53,6 +52,7 @@ __all__ = [
     "LoadedIndex",
     "MetagraphCounts",
     "MetagraphVectors",
+    "TRANSFORMS",
     "Transform",
     "affected_region",
     "apply_delta",

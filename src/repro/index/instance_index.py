@@ -82,6 +82,7 @@ def count_instances_into(
         nodes_here = {n for pair in pairs_here for n in pair}
         for pair in pairs_here:
             counts.pair_counts[pair] += 1
+        # repro-lint: ignore[unordered-iter] -- commutative `+= 1` fold; the Counter value per node is order-independent
         for node in nodes_here:
             counts.node_counts[node] += 1
 

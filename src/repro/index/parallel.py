@@ -232,6 +232,7 @@ def counts_from_records(records: InstanceRecords) -> MetagraphCounts:
     for pairs in records.values():
         for pair in pairs:
             counts.pair_counts[pair] += 1
+        # repro-lint: ignore[unordered-iter] -- commutative `+= 1` fold mirroring match_and_count; per-node totals are order-independent
         for node in {node for pair in pairs for node in pair}:
             counts.node_counts[node] += 1
     return counts

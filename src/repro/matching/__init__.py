@@ -62,12 +62,12 @@ def make_matcher(name: str) -> MatcherProtocol:
 
 __all__ = [
     "ALL_ENGINES",
-    "MATCHERS",
     "BoostISOMatcher",
     "CompiledMatcher",
     "Embedding",
     "GraphCardinalities",
     "Instance",
+    "MATCHERS",
     "MatcherProtocol",
     "QuickSIMatcher",
     "SymISOMatcher",

@@ -1,5 +1,9 @@
 """Metagraph mining (offline subproblem 1): a GraMi-style substitute."""
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
 from repro.mining.enumerate import enumerate_patterns, extensions, single_edge_patterns
 from repro.mining.filters import build_catalog, filter_metagraphs, passes_paper_filters
 from repro.mining.grami import (
@@ -10,8 +14,16 @@ from repro.mining.grami import (
     mni_support,
 )
 
+if TYPE_CHECKING:
+    from repro.graph.typed_graph import TypedGraph
+    from repro.metagraph.catalog import MetagraphCatalog
 
-def mine_catalog(graph, config=None, anchor_type: str = "user"):
+
+def mine_catalog(
+    graph: TypedGraph,
+    config: MinerConfig | None = None,
+    anchor_type: str = "user",
+) -> MetagraphCatalog:
     """End-to-end offline subproblem 1: mine, filter, and index.
 
     Returns the :class:`~repro.metagraph.catalog.MetagraphCatalog` of

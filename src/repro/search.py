@@ -168,7 +168,10 @@ class SemanticProximitySearch:
         self.serving_workers = serving_workers
         self.serving_backend = serving_backend
         self.replicas = replicas
-        self._router: QueryRouter | None = None
+        # double-checked locking: writes only under the serving lock;
+        # the unlocked fast-path reads see either the old or the new
+        # router, both of which serve correctly
+        self._router: QueryRouter | None = None  # guarded-by: _serving_lock (writes)
         # serialises serving-tier (re)builds: concurrent queries racing
         # a snapshot change must produce ONE swap, not one per thread.
         # Reentrant so refresh_serving() works both standalone and from
@@ -176,7 +179,7 @@ class SemanticProximitySearch:
         self._serving_lock = threading.RLock()
         # the compiled snapshot the router's backend was built over —
         # a change triggers a zero-downtime swap on the next query
-        self._router_compiled = None
+        self._router_compiled = None  # guarded-by: _serving_lock (writes)
         # latest on-disk snapshot of the current compiled counts (the
         # process backend's workers mmap it); _snapshot_compiled pins
         # which CompiledVectors the path corresponds to

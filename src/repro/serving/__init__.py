@@ -76,8 +76,8 @@ __all__ = [
     "extract_shard",
     "partition_compiled",
     "recv_frame",
+    "result_key",
     "send_frame",
     "shard_ranges",
-    "result_key",
     "validate_query_node",
 ]

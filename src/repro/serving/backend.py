@@ -193,18 +193,20 @@ class _WorkerHandle:
         self.shard_id = shard_id
         self.replica = replica
         self.socket_path = socket_path
-        self.proc: subprocess.Popen | None = None
-        self.conn: socket.socket | None = None
+        # spawns serialise under the lock; liveness probes (`alive`,
+        # `poll`, teardown) read the reference racily on purpose
+        self.proc: subprocess.Popen | None = None  # guarded-by: lock (writes)
+        self.conn: socket.socket | None = None  # guarded-by: lock
         # universes this worker *incarnation* has cached, so the router
         # can inline the payload proactively after a restart
-        self.known_universes: set[str] = set()
+        self.known_universes: set[str] = set()  # guarded-by: lock
         self.lock = threading.Lock()
 
     @property
     def name(self) -> str:
         return f"shard {self.shard_id} replica {self.replica}"
 
-    def drop_connection(self) -> None:
+    def drop_connection(self) -> None:  # guarded-by-caller: lock
         if self.conn is not None:
             try:
                 self.conn.close()
@@ -336,7 +338,12 @@ class SubprocessBackend(ShardBackend):
         try:
             for handles in self._workers:
                 for handle in handles:
-                    self._spawn(handle)
+                    # the handles are unpublished until start() returns,
+                    # but _spawn's discipline is caller-holds-lock —
+                    # uncontended here, so hold it rather than carve an
+                    # exception into the rule
+                    with handle.lock:
+                        self._spawn(handle)
             deadline = time.monotonic() + self.start_timeout
             for handles in self._workers:
                 for handle in handles:
@@ -348,7 +355,7 @@ class SubprocessBackend(ShardBackend):
             raise
         self._started = True
 
-    def _spawn(self, handle: _WorkerHandle) -> None:
+    def _spawn(self, handle: _WorkerHandle) -> None:  # guarded-by-caller: handle.lock
         handle.drop_connection()
         handle.known_universes.clear()
         try:
@@ -378,7 +385,7 @@ class SubprocessBackend(ShardBackend):
             stdout=subprocess.DEVNULL,
         )
 
-    def _ensure_connected(self, handle: _WorkerHandle, deadline: float) -> None:
+    def _ensure_connected(self, handle: _WorkerHandle, deadline: float) -> None:  # guarded-by-caller: handle.lock
         """Connect + handshake (lock held); _TransportFailure on give-up."""
         if handle.conn is not None:
             return
@@ -460,7 +467,7 @@ class SubprocessBackend(ShardBackend):
             shutil.rmtree(self._socket_dir, ignore_errors=True)
 
     # -- serving -------------------------------------------------------
-    def _call(
+    def _call(  # guarded-by-caller: handle.lock
         self, handle: _WorkerHandle, doc: dict, deadline: float
     ) -> dict:
         """One request/response on a connected handle (lock held)."""

@@ -84,13 +84,13 @@ class ResultCache:
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, tuple[object, float | None]] = (
-            OrderedDict()
+            OrderedDict()  # guarded-by: _lock
         )
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._expirations = 0
-        self._invalidations = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._expirations = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:

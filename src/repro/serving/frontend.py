@@ -175,13 +175,14 @@ class BatchCoalescer:
         self.max_delay = max_delay
         self._clock = clock
         self._lock = threading.Lock()
+        # the condition wraps _lock: holding either is holding both
         self._cv = threading.Condition(self._lock)
-        self._groups: dict[tuple[str, int | None], _PendingBatch] = {}
-        self._closed = False
-        self._batches = 0
-        self._coalesced_batches = 0
-        self._submitted = 0
-        self._largest_batch = 0
+        self._groups: dict[tuple[str, int | None], _PendingBatch] = {}  # guarded-by: _cv
+        self._closed = False  # guarded-by: _cv
+        self._batches = 0  # guarded-by: _lock
+        self._coalesced_batches = 0  # guarded-by: _lock
+        self._submitted = 0  # guarded-by: _lock
+        self._largest_batch = 0  # guarded-by: _lock
         self._pool = ThreadPoolExecutor(
             max_workers=dispatch_workers,
             thread_name_prefix="repro-frontend-dispatch",
@@ -246,6 +247,17 @@ class BatchCoalescer:
                     f"dispatch returned {len(results)} rankings for "
                     f"{len(batch.futures)} queries"
                 )
+        except (KeyboardInterrupt, SystemExit) as exc:
+            # a shutdown signal on a dispatch thread is not a query
+            # failure: fail the batch with a ServingError the callers
+            # can classify, and let the signal keep unwinding the
+            # thread instead of smuggling it into a Future
+            failure = ServingError(
+                f"dispatch interrupted by {type(exc).__name__}"
+            )
+            for future in batch.futures:
+                future.set_exception(failure)
+            raise
         except BaseException as exc:  # noqa: BLE001 — forwarded per-future
             for future in batch.futures:
                 future.set_exception(exc)
@@ -324,7 +336,10 @@ class QueryFrontend:
             else ResultCache(self.config.cache_size, ttl=self.config.cache_ttl)
         )
         self._reload_lock = threading.Lock()
-        self._digest = engine.serving_digest()
+        # reloads serialise under the lock; query/stats/watch read the
+        # digest racily on purpose — a stale read is indistinguishable
+        # from having queried an instant before the swap
+        self._digest = engine.serving_digest()  # guarded-by: _reload_lock (writes)
         self._coalescer = BatchCoalescer(
             self._dispatch,
             max_batch=self.config.max_batch,
@@ -527,6 +542,8 @@ class _FrontendHandler(BaseHTTPRequestHandler):
         try:
             results = self.frontend.query(class_name, query, k=k)
         except Exception as exc:  # noqa: BLE001 — mapped to a status
+            # Exception, not BaseException: KeyboardInterrupt/SystemExit
+            # must unwind the handler thread, never become an HTTP 500
             self._send_json(_error_status(exc), {"error": str(exc)})
             return
         self._send_json(
@@ -593,6 +610,8 @@ class _FrontendHandler(BaseHTTPRequestHandler):
             try:
                 outcome = self.frontend.reload(doc.get("snapshot"))
             except Exception as exc:  # noqa: BLE001 — mapped to a status
+                # Exception, not BaseException — same shutdown-signal
+                # taxonomy as _handle_query
                 self._send_json(_error_status(exc), {"error": str(exc)})
                 return
             self._send_json(200, outcome)

@@ -407,5 +407,9 @@ class ShardExecutor:
                 None if k is None else int(k),
             )
             return {"ok": True, "results": encode_rankings(results)}
+        except (KeyboardInterrupt, SystemExit):
+            # shutdown signals must stop the worker loop, not ride the
+            # wire as an error frame the router would retry elsewhere
+            raise
         except BaseException as exc:  # noqa: BLE001 — the envelope IS the handler
             return encode_error(exc)

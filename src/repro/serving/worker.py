@@ -103,8 +103,8 @@ class ShardWorker:
         self.drain_timeout = drain_timeout
         self._shutdown = threading.Event()
         self._lock = threading.Condition()
-        self._inflight = 0
-        self._connections: set[socket.socket] = set()
+        self._inflight = 0  # guarded-by: _lock
+        self._connections: set[socket.socket] = set()  # guarded-by: _lock
 
     # -- lifecycle -----------------------------------------------------
     def initiate_shutdown(self) -> None:

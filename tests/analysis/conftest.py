@@ -1,0 +1,42 @@
+"""Fixture helpers for the invariant-analysis suite's self-tests.
+
+Each checker test writes a tiny synthetic tree that mimics the real
+package layout (the determinism and wire checkers scope themselves by
+dotted module path, so the files must land under ``src/repro/...``)
+and asserts which rule ids fire where.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.core import LintReport
+
+
+class LintTree:
+    """A scratch ``src/repro`` tree plus a one-call lint runner."""
+
+    def __init__(self, root: Path):
+        self.root = root
+
+    def write(self, rel: str, source: str) -> Path:
+        """Write dedented ``source`` at ``src/repro/<rel>``."""
+        path = self.root / "src" / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    def lint(self, rules: list[str] | None = None) -> LintReport:
+        return run_lint([self.root / "src"], rules=rules, root=self.root)
+
+    def rules_fired(self, rules: list[str] | None = None) -> set[str]:
+        return {finding.rule for finding in self.lint(rules).findings}
+
+
+@pytest.fixture
+def tree(tmp_path: Path) -> LintTree:
+    return LintTree(tmp_path)

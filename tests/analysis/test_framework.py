@@ -1,0 +1,199 @@
+"""Framework-level behavior: registry, suppressions, report formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import all_checkers, format_json, format_text, run_lint
+from repro.analysis.core import SUPPRESSION_RULE, Checker, register
+
+
+EXPECTED_RULES = {
+    "api-hygiene",
+    "guarded-by",
+    "hot-path-entropy",
+    "resource-lifecycle",
+    "unordered-iter",
+    "wire-errors",
+}
+
+
+def test_all_five_checker_families_registered():
+    assert EXPECTED_RULES <= set(all_checkers())
+
+
+def test_every_checker_has_rule_and_description():
+    for rule, cls in all_checkers().items():
+        assert cls.rule == rule
+        assert cls.description
+
+
+def test_register_rejects_duplicate_and_reserved_ids():
+    class Dup(Checker):
+        rule = "unordered-iter"
+
+    with pytest.raises(ValueError, match="duplicate"):
+        register(Dup)
+
+    class Reserved(Checker):
+        rule = SUPPRESSION_RULE
+
+    with pytest.raises(ValueError, match="reserved"):
+        register(Reserved)
+
+    class Anonymous(Checker):
+        rule = ""
+
+    with pytest.raises(ValueError, match="rule id"):
+        register(Anonymous)
+
+
+def test_unknown_rule_subset_raises(tree):
+    tree.write("empty.py", "")
+    with pytest.raises(ValueError, match="no-such-rule"):
+        tree.lint(rules=["no-such-rule"])
+
+
+def test_unparseable_file_is_an_error_not_a_crash(tree):
+    tree.write("broken.py", "def broken(:\n")
+    report = tree.lint()
+    assert not report.clean
+    assert any("broken.py" in error for error in report.errors)
+
+
+def test_clean_file_clean_report(tree):
+    tree.write("fine.py", "X = 1\n")
+    report = tree.lint()
+    assert report.clean
+    assert report.files_checked == 1
+
+
+# ----------------------------------------------------------------------
+# suppression mechanics
+# ----------------------------------------------------------------------
+def test_same_line_suppression_drops_the_finding(tree):
+    tree.write(
+        "anywhere.py",
+        """\
+        try:
+            pass
+        except:  # repro-lint: ignore[wire-errors] -- exercising the suppressor
+            pass
+        """,
+    )
+    assert "wire-errors" not in tree.rules_fired()
+
+
+def test_standalone_suppression_covers_next_line(tree):
+    tree.write(
+        "anywhere.py",
+        """\
+        try:
+            pass
+        # repro-lint: ignore[wire-errors] -- exercising the standalone form
+        except:
+            pass
+        """,
+    )
+    assert "wire-errors" not in tree.rules_fired()
+
+
+def test_suppression_without_justification_is_a_finding(tree):
+    tree.write(
+        "anywhere.py",
+        """\
+        try:
+            pass
+        except:  # repro-lint: ignore[wire-errors]
+            pass
+        """,
+    )
+    report = tree.lint()
+    rules = {finding.rule for finding in report.findings}
+    assert SUPPRESSION_RULE in rules
+    assert any("justification" in f.message for f in report.findings)
+
+
+def test_unused_suppression_is_a_finding(tree):
+    tree.write(
+        "anywhere.py",
+        "X = 1  # repro-lint: ignore[wire-errors] -- nothing here at all\n",
+    )
+    report = tree.lint()
+    assert any(
+        f.rule == SUPPRESSION_RULE and "unused" in f.message
+        for f in report.findings
+    )
+
+
+def test_suppression_naming_no_rules_is_a_finding(tree):
+    tree.write(
+        "anywhere.py",
+        "X = 1  # repro-lint: ignore[] -- empty brackets\n",
+    )
+    report = tree.lint()
+    assert any(
+        f.rule == SUPPRESSION_RULE and "names no rules" in f.message
+        for f in report.findings
+    )
+
+
+def test_suppression_example_in_docstring_is_inert(tree):
+    tree.write(
+        "documented.py",
+        '''\
+        """Docs showing `# repro-lint: ignore[wire-errors] -- example`."""
+        X = 1
+        ''',
+    )
+    assert tree.lint().clean
+
+
+def test_suppression_only_covers_named_rules(tree):
+    tree.write(
+        "anywhere.py",
+        """\
+        try:
+            pass
+        except:  # repro-lint: ignore[api-hygiene] -- wrong rule on purpose
+            pass
+        """,
+    )
+    fired = tree.rules_fired()
+    # the bare-except finding survives AND the suppression reports unused
+    assert "wire-errors" in fired
+    assert SUPPRESSION_RULE in fired
+
+
+# ----------------------------------------------------------------------
+# output formats
+# ----------------------------------------------------------------------
+def test_json_report_shape(tree):
+    tree.write(
+        "anywhere.py",
+        "try:\n    pass\nexcept:\n    pass\n",
+    )
+    report = tree.lint()
+    doc = json.loads(format_json(report))
+    assert doc["clean"] is False
+    assert doc["files_checked"] == 1
+    (finding,) = [f for f in doc["findings"] if f["rule"] == "wire-errors"]
+    assert finding["path"].endswith("anywhere.py")
+    assert finding["line"] == 3
+
+
+def test_text_report_mentions_every_finding_and_a_summary(tree):
+    tree.write("anywhere.py", "try:\n    pass\nexcept:\n    pass\n")
+    text = format_text(tree.lint())
+    assert "wire-errors" in text
+    assert "[repro lint]" in text
+
+
+def test_findings_sorted_and_stable(tree):
+    tree.write("b.py", "try:\n    pass\nexcept:\n    pass\n")
+    tree.write("a.py", "try:\n    pass\nexcept:\n    pass\n")
+    report = tree.lint()
+    paths = [finding.path for finding in report.findings]
+    assert paths == sorted(paths)

@@ -1,0 +1,244 @@
+"""Self-tests for the guarded-by lock-discipline checker."""
+
+from __future__ import annotations
+
+
+GUARDED_CLASS = """\
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {{}}  # guarded-by: _lock
+
+        def touch(self):
+            {body}
+"""
+
+
+def test_unlocked_access_flagged(tree):
+    tree.write(
+        "store.py",
+        GUARDED_CLASS.format(body='self._entries["k"] = 1'),
+    )
+    report = tree.lint(["guarded-by"])
+    assert [f.rule for f in report.findings] == ["guarded-by"]
+    assert "_entries" in report.findings[0].message
+
+
+def test_locked_access_clean(tree):
+    tree.write(
+        "store.py",
+        GUARDED_CLASS.format(
+            body='with self._lock:\n                self._entries["k"] = 1'
+        ),
+    )
+    assert tree.lint(["guarded-by"]).clean
+
+
+def test_init_and_repr_exempt(tree):
+    tree.write(
+        "store.py",
+        """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}  # guarded-by: _lock
+                self._entries["seed"] = 1
+
+            def __repr__(self):
+                return f"<Store {len(self._entries)}>"
+        """,
+    )
+    assert tree.lint(["guarded-by"]).clean
+
+
+def test_condition_alias_counts_as_the_lock(tree):
+    tree.write(
+        "store.py",
+        """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cv = threading.Condition(self._lock)
+                self._groups = {}  # guarded-by: _cv
+
+            def touch(self):
+                with self._lock:
+                    self._groups["k"] = 1
+        """,
+    )
+    assert tree.lint(["guarded-by"]).clean
+
+
+def test_wrong_lock_still_flagged(tree):
+    tree.write(
+        "store.py",
+        """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._other = threading.Lock()
+                self._entries = {}  # guarded-by: _lock
+
+            def touch(self):
+                with self._other:
+                    self._entries["k"] = 1
+        """,
+    )
+    assert "guarded-by" in tree.rules_fired(["guarded-by"])
+
+
+def test_writes_only_mode_allows_unlocked_reads(tree):
+    tree.write(
+        "store.py",
+        """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._backend = object()  # guarded-by: _lock (writes)
+
+            def snapshot(self):
+                return self._backend
+
+            def swap(self, new):
+                with self._lock:
+                    self._backend = new
+        """,
+    )
+    assert tree.lint(["guarded-by"]).clean
+
+
+def test_writes_only_mode_still_flags_unlocked_writes(tree):
+    tree.write(
+        "store.py",
+        """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._backend = object()  # guarded-by: _lock (writes)
+
+            def swap(self, new):
+                self._backend = new
+        """,
+    )
+    report = tree.lint(["guarded-by"])
+    assert [f.rule for f in report.findings] == ["guarded-by"]
+    assert "write to" in report.findings[0].message
+
+
+def test_guarded_by_caller_annotation_trusts_the_method(tree):
+    tree.write(
+        "store.py",
+        """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}  # guarded-by: _lock
+
+            def _drain_locked(self):  # guarded-by-caller: _lock
+                self._entries.clear()
+        """,
+    )
+    assert tree.lint(["guarded-by"]).clean
+
+
+def test_closure_does_not_inherit_the_with_block(tree):
+    # a closure defined under `with` runs later, lock-free
+    tree.write(
+        "store.py",
+        """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}  # guarded-by: _lock
+
+            def schedule(self, pool):
+                with self._lock:
+                    def later():
+                        self._entries.clear()
+                    pool.submit(later)
+        """,
+    )
+    assert "guarded-by" in tree.rules_fired(["guarded-by"])
+
+
+def test_foreign_receiver_checked_against_owning_class(tree):
+    # handle.conn manipulated by another class in the file must hold
+    # handle.lock — the merged, non-self pass
+    tree.write(
+        "backendish.py",
+        """\
+        import threading
+
+        class Handle:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.conn = None  # guarded-by: lock
+
+        class Supervisor:
+            def good(self, handle):
+                with handle.lock:
+                    handle.conn = object()
+
+            def bad(self, handle):
+                handle.conn = object()
+        """,
+    )
+    report = tree.lint(["guarded-by"])
+    assert len(report.findings) == 1
+    assert "handle.conn" in report.findings[0].message
+
+
+def test_caller_holds_foreign_lock_form(tree):
+    tree.write(
+        "backendish.py",
+        """\
+        import threading
+
+        class Handle:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.conn = None  # guarded-by: lock
+
+        class Supervisor:
+            def _connect(self, handle):  # guarded-by-caller: handle.lock
+                handle.conn = object()
+        """,
+    )
+    assert tree.lint(["guarded-by"]).clean
+
+
+def test_multiline_assignment_declaration_registers(tree):
+    tree.write(
+        "store.py",
+        """\
+        import threading
+        from collections import OrderedDict
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = (
+                    OrderedDict()  # guarded-by: _lock
+                )
+
+            def touch(self):
+                self._entries["k"] = 1
+        """,
+    )
+    assert "guarded-by" in tree.rules_fired(["guarded-by"])

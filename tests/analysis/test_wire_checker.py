@@ -1,0 +1,108 @@
+"""Self-tests for the wire-error taxonomy checker."""
+
+from __future__ import annotations
+
+
+def test_bare_except_flagged_everywhere(tree):
+    tree.write(
+        "eval/report.py",
+        "try:\n    pass\nexcept:\n    pass\n",
+    )
+    report = tree.lint(["wire-errors"])
+    assert [f.rule for f in report.findings] == ["wire-errors"]
+    assert "bare" in report.findings[0].message
+
+
+def test_non_repro_error_raise_on_wire_flagged(tree):
+    tree.write(
+        "serving/protocol.py",
+        """\
+        def execute(doc):
+            raise ValueError("not a wire type")
+        """,
+    )
+    report = tree.lint(["wire-errors"])
+    assert any("ValueError" in f.message for f in report.findings)
+
+
+def test_repro_error_subclasses_allowed_on_wire(tree):
+    tree.write(
+        "serving/worker.py",
+        """\
+        from repro.exceptions import ServingError, QueryError
+
+        def execute(doc):
+            if not doc:
+                raise ServingError("empty frame")
+            raise QueryError("unrankable")
+        """,
+    )
+    assert tree.lint(["wire-errors"]).clean
+
+
+def test_reraise_of_caught_binding_allowed(tree):
+    tree.write(
+        "serving/protocol.py",
+        """\
+        def passthrough(doc):
+            try:
+                return doc["op"]
+            except KeyError as exc:
+                raise
+        """,
+    )
+    assert tree.lint(["wire-errors"]).clean
+
+
+def test_raises_off_the_wire_not_checked(tree):
+    tree.write(
+        "index/build.py",
+        "def guard(x):\n    raise ValueError(x)\n",
+    )
+    assert tree.lint(["wire-errors"]).clean
+
+
+def test_base_exception_without_shutdown_arm_flagged(tree):
+    tree.write(
+        "serving/protocol.py",
+        """\
+        def execute(doc):
+            try:
+                return doc
+            except BaseException as exc:
+                return {"error": str(exc)}
+        """,
+    )
+    report = tree.lint(["wire-errors"])
+    assert any("smuggles" in f.message for f in report.findings)
+
+
+def test_base_exception_behind_shutdown_reraise_allowed(tree):
+    tree.write(
+        "serving/protocol.py",
+        """\
+        def execute(doc):
+            try:
+                return doc
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                return {"error": str(exc)}
+        """,
+    )
+    assert tree.lint(["wire-errors"]).clean
+
+
+def test_shipped_wire_modules_stay_sound():
+    """The real protocol/worker modules must satisfy their own taxonomy."""
+    from pathlib import Path
+
+    from repro.analysis import run_lint
+    import repro.serving.protocol as protocol
+    import repro.serving.worker as worker
+
+    report = run_lint(
+        [Path(protocol.__file__), Path(worker.__file__)],
+        rules=["wire-errors"],
+    )
+    assert report.clean, [str(f) for f in report.findings]
