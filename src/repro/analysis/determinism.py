@@ -30,7 +30,12 @@ from collections.abc import Iterator
 from repro.analysis.core import Checker, Finding, SourceFile, register
 
 #: packages whose iteration order reaches results/merges
-UNORDERED_SCOPE = ("repro.index", "repro.matching", "repro.serving")
+UNORDERED_SCOPE = (
+    "repro.index",
+    "repro.matching",
+    "repro.metagraph",
+    "repro.serving",
+)
 
 #: modules implementing scoring/merging itself: entropy-free zones
 HOT_PATH_MODULES = frozenset(

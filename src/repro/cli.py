@@ -601,6 +601,9 @@ def _serve_from_snapshot(
 
 def build_index_parser() -> argparse.ArgumentParser:
     """The `python -m repro index` argument parser."""
+    from repro.datasets import DATASET_GENERATORS
+
+    dataset_names = sorted(DATASET_GENERATORS)
     parser = argparse.ArgumentParser(
         prog="repro index",
         description=(
@@ -614,7 +617,7 @@ def build_index_parser() -> argparse.ArgumentParser:
     )
     build.add_argument(
         "--dataset",
-        choices=["linkedin", "facebook"],
+        choices=dataset_names,
         default="linkedin",
         help="dataset to index (default: linkedin)",
     )
@@ -663,7 +666,7 @@ def build_index_parser() -> argparse.ArgumentParser:
     update.add_argument("path", help="snapshot directory to update in place")
     update.add_argument(
         "--dataset",
-        choices=["linkedin", "facebook"],
+        choices=dataset_names,
         default=None,
         help="base dataset the snapshot was built from (default: the "
         "dataset recorded in the snapshot manifest, else linkedin)",
@@ -755,8 +758,13 @@ def run_index_update(args) -> int:
         sample = rng.sample(sorted(graph.edges(), key=repr), args.toggle_edges)
         delta = GraphDelta()
         for u, v in sample:
+            # re-add with the original kind and orientation; edges()
+            # yields sorted pairs, not source-first
+            kind = graph.edge_kind(u, v)
+            if kind.directed and graph.edge_signature(u, v)[1] == -1:
+                u, v = v, u
             delta.remove_edge(u, v)
-            delta.add_edge(u, v)
+            delta.add_edge(u, v, kind)
     # snapshots saved without per-metagraph |I(M)| totals cannot have
     # them patched (reconstruction would start every total at 0 and go
     # negative on the first retirement); the vectors still update, and
@@ -861,6 +869,18 @@ def run_index(argv: list[str]) -> int:
         else:
             print("  mmap sidecar   : (none — format v1 snapshot)")
         print(f"  anchor type    : {manifest['anchor_type']}")
+        schema = manifest.get("schema")
+        if schema:
+            print(
+                "  schema         : edge kinds on, types "
+                f"{', '.join(schema.get('types', []))}"
+            )
+            for a, b, label, directed in schema.get("edge_rules", []):
+                arrow = "->" if directed else "--"
+                shown = label or "(plain)"
+                print(f"    {a} {arrow} {b} [{shown}]")
+        else:
+            print("  schema         : plain (unlabeled, undirected)")
         print(f"  metagraphs     : {manifest['catalog_size']}")
         print(
             f"  counts         : {stats['num_nodes']} nodes, "

@@ -18,11 +18,18 @@ from repro.datasets.linkedin import (
     LinkedInConfig,
     generate_linkedin,
 )
+from repro.datasets.reactions import (
+    REACTIONS_SCALES,
+    REACTIONS_SCHEMA,
+    ReactionsConfig,
+    generate_reactions,
+)
 from repro.datasets.toy import toy_dataset, toy_graph, toy_metagraphs
 
 DATASET_GENERATORS = {
     "linkedin": generate_linkedin,
     "facebook": generate_facebook,
+    "reactions": generate_reactions,
 }
 """Name -> generator, used by the CLI and the experiment configs."""
 
@@ -51,8 +58,12 @@ __all__ = [
     "LINKEDIN_SCHEMA",
     "LabeledGraphDataset",
     "LinkedInConfig",
+    "REACTIONS_SCALES",
+    "REACTIONS_SCHEMA",
+    "ReactionsConfig",
     "generate_facebook",
     "generate_linkedin",
+    "generate_reactions",
     "labels_as_pairs",
     "load_dataset",
     "symmetric_labels",

@@ -119,6 +119,10 @@ class DeltaError(IndexError_, ValueError):
     """An incremental index update is invalid or failed an invariant."""
 
 
+class RewriteError(DeltaError):
+    """A rewrite rule is malformed or cannot compile against a binding."""
+
+
 class StaleSnapshotError(SnapshotError):
     """A snapshot's fingerprints do not match the current graph/catalog."""
 

@@ -23,6 +23,10 @@ class ExperimentConfig:
     max_nodes: int = 5
     linkedin_min_support: int = 8
     facebook_min_support: int = 8
+    # the kinded (labeled, directed) reaction-network dataset is far
+    # sparser per edge kind than the social graphs, so its support
+    # threshold sits lower
+    reactions_min_support: int = 2
     num_splits: int = 3
     omega_sizes: tuple[int, ...] = (10, 100, 1000)
     eval_k: int = 10
@@ -42,6 +46,7 @@ class ExperimentConfig:
         default_factory=lambda: {
             "linkedin": (5, 10, 20),
             "facebook": (20, 60, 120),
+            "reactions": (3, 6, 10),
         }
     )
     # Fig. 11: how many metagraphs to time per size bucket, and how many
@@ -54,11 +59,12 @@ class ExperimentConfig:
 
     def miner_config(self, dataset_name: str) -> MinerConfig:
         """The mining configuration for one dataset."""
-        support = (
-            self.linkedin_min_support
-            if dataset_name == "linkedin"
-            else self.facebook_min_support
-        )
+        if dataset_name == "linkedin":
+            support = self.linkedin_min_support
+        elif dataset_name == "reactions":
+            support = self.reactions_min_support
+        else:
+            support = self.facebook_min_support
         return MinerConfig(max_nodes=self.max_nodes, min_support=support)
 
 
@@ -73,7 +79,7 @@ QUICK_CONFIG = ExperimentConfig(
     trainer_max_iterations=250,
     srw_epochs=6,
     srw_power_iterations=20,
-    candidate_sweep={"linkedin": (2, 5), "facebook": (5, 15)},
+    candidate_sweep={"linkedin": (2, 5), "facebook": (5, 15), "reactions": (2, 4)},
     fig11_per_size=4,
     fig9_max_pairs=3000,
 )

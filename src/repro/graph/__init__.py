@@ -1,15 +1,26 @@
 """Typed heterogeneous graph substrate (Sect. II-A of the paper)."""
 
 from repro.graph.builder import GraphBuilder
-from repro.graph.schema import GraphSchema
+from repro.graph.schema import EdgeRule, GraphSchema
 from repro.graph.statistics import GraphStatistics, degree_histogram, graph_statistics
-from repro.graph.typed_graph import NodeId, TypedGraph, edge_key
+from repro.graph.typed_graph import (
+    PLAIN,
+    EdgeKind,
+    EdgeSignature,
+    NodeId,
+    TypedGraph,
+    edge_key,
+)
 
 __all__ = [
+    "EdgeKind",
+    "EdgeRule",
+    "EdgeSignature",
     "GraphBuilder",
     "GraphSchema",
     "GraphStatistics",
     "NodeId",
+    "PLAIN",
     "TypedGraph",
     "degree_histogram",
     "edge_key",

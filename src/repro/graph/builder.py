@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.exceptions import SchemaError
 from repro.graph.schema import GraphSchema
-from repro.graph.typed_graph import NodeId, TypedGraph
+from repro.graph.typed_graph import PLAIN, EdgeKind, NodeId, TypedGraph
 
 
 class GraphBuilder:
@@ -37,15 +37,21 @@ class GraphBuilder:
         self._graph.add_node(node, node_type)
         return self
 
-    def edge(self, u: NodeId, v: NodeId) -> "GraphBuilder":
-        """Add an edge between existing nodes; returns self."""
+    def edge(
+        self, u: NodeId, v: NodeId, kind: EdgeKind = PLAIN
+    ) -> "GraphBuilder":
+        """Add an edge (of an optional kind) between existing nodes.
+
+        For a directed ``kind`` the orientation is ``u -> v``.
+        """
         if self._schema is not None:
             pair = (self._graph.node_type(u), self._graph.node_type(v))
-            if not self._schema.allows_edge(*pair):
+            if not self._schema.allows_edge(*pair, kind):
                 raise SchemaError(
-                    f"edge ({u!r}, {v!r}) connects disallowed type pair {pair}"
+                    f"edge ({u!r}, {v!r}) of kind {kind!r} connects "
+                    f"disallowed type pair {pair}"
                 )
-        self._graph.add_edge(u, v)
+        self._graph.add_edge(u, v, kind)
         return self
 
     def attach(self, node: NodeId, attribute: NodeId, attribute_type: str) -> "GraphBuilder":

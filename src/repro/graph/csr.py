@@ -60,6 +60,9 @@ class CSRGraph:
         type_ptr: np.ndarray,
         profiles: np.ndarray,
         edge_type_counts: np.ndarray,
+        sig_names: tuple[tuple[str, int], ...] = (),
+        edge_sig: np.ndarray | None = None,
+        sig_profiles: np.ndarray | None = None,
     ):
         self.version = version
         self.type_names = type_names
@@ -70,7 +73,18 @@ class CSRGraph:
         self.type_ptr = type_ptr
         self.profiles = profiles
         self.edge_type_counts = edge_type_counts
+        # edge-kind layer (built only for graphs with non-plain kinds):
+        # sig_names enumerates the observed per-endpoint signatures
+        # (label, rel) with rel 0 = undirected, 1 = outgoing, -1 =
+        # incoming; edge_sig is parallel to ``indices`` and carries the
+        # signature code of each (row -> neighbour) entry from the row
+        # node's perspective; sig_profiles counts neighbours per
+        # (type, signature) column ``type_code * num_sigs + sig_code``.
+        self.sig_names = sig_names
+        self.edge_sig = edge_sig
+        self.sig_profiles = sig_profiles
         self._type_index = {name: i for i, name in enumerate(type_names)}
+        self._sig_index = {sig: i for i, sig in enumerate(sig_names)}
         self._id_of: dict[NodeId, int] | None = None
 
     # ------------------------------------------------------------------
@@ -90,11 +104,18 @@ class CSRGraph:
         type_start = np.asarray(starts, dtype=np.int64)
         id_of = {node: i for i, node in enumerate(node_ids)}
 
+        kinded = graph.has_kinds
         heads = np.empty(graph.num_edges, dtype=np.int64)
         tails = np.empty(graph.num_edges, dtype=np.int64)
+        head_sig: list[tuple[str, int]] = []
+        tail_sig: list[tuple[str, int]] = []
         for k, (u, v) in enumerate(graph.edges()):
             heads[k] = id_of[u]
             tails[k] = id_of[v]
+            if kinded:
+                label, rel = graph.edge_signature(u, v)
+                head_sig.append((label, rel))
+                tail_sig.append((label, -rel))
         src = np.concatenate([heads, tails])
         dst = np.concatenate([tails, heads])
         order = np.lexsort((dst, src))
@@ -103,6 +124,18 @@ class CSRGraph:
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
         indices = dst.astype(np.int32)
+
+        sig_names: tuple[tuple[str, int], ...] = ()
+        edge_sig: np.ndarray | None = None
+        if kinded:
+            sig_names = tuple(sorted(set(head_sig) | set(tail_sig)))
+            sig_code = {sig: i for i, sig in enumerate(sig_names)}
+            raw_sig = np.asarray(
+                [sig_code[sig] for sig in head_sig]
+                + [sig_code[sig] for sig in tail_sig],
+                dtype=np.int16,
+            )
+            edge_sig = raw_sig[order]
 
         type_of = np.empty(max(n, 1), dtype=np.int64)[:n]
         for code in range(num_types):
@@ -122,6 +155,15 @@ class CSRGraph:
             b = np.maximum(type_of[heads], type_of[tails])
             np.add.at(edge_type_counts, (a, b), 1)
 
+        sig_profiles: np.ndarray | None = None
+        if kinded:
+            num_sigs = len(sig_names)
+            sig_profiles = np.zeros((n, num_types * num_sigs), dtype=np.int64)
+            if indices.size and edge_sig is not None:
+                row_of = np.repeat(np.arange(n), np.diff(indptr))
+                cols = type_of[indices] * num_sigs + edge_sig.astype(np.int64)
+                np.add.at(sig_profiles, (row_of, cols), 1)
+
         built = cls(
             version=graph.version,
             type_names=type_names,
@@ -132,6 +174,9 @@ class CSRGraph:
             type_ptr=type_ptr,
             profiles=profiles,
             edge_type_counts=edge_type_counts,
+            sig_names=sig_names,
+            edge_sig=edge_sig,
+            sig_profiles=sig_profiles,
         )
         built._id_of = id_of
         return built
@@ -145,8 +190,12 @@ class CSRGraph:
         return state
 
     def __setstate__(self, state: dict) -> None:
+        state.setdefault("sig_names", ())
+        state.setdefault("edge_sig", None)
+        state.setdefault("sig_profiles", None)
         self.__dict__.update(state)
         self._type_index = {name: i for i, name in enumerate(self.type_names)}
+        self._sig_index = {sig: i for i, sig in enumerate(self.sig_names)}
 
     # ------------------------------------------------------------------
     # queries
@@ -188,6 +237,32 @@ class CSRGraph:
     def typed_neighbors(self, node: int, code: int) -> np.ndarray:
         """Sorted neighbours of ``node`` with type ``code`` (O(1) slice)."""
         return self.indices[self.type_ptr[node, code] : self.type_ptr[node, code + 1]]
+
+    @property
+    def has_kinds(self) -> bool:
+        """True iff the source graph carried non-plain edge kinds."""
+        return self.edge_sig is not None
+
+    @property
+    def num_sigs(self) -> int:
+        """Number of distinct observed edge signatures."""
+        return len(self.sig_names)
+
+    def sig_id(self, label: str, rel: int) -> int | None:
+        """Dense code for an edge signature (None when never observed)."""
+        return self._sig_index.get((label, rel))
+
+    def typed_neighbors_sig(self, node: int, code: int, sig: int) -> np.ndarray:
+        """Sorted neighbours of ``node`` of type ``code`` via signature ``sig``.
+
+        Masks the typed slice by the parallel ``edge_sig`` array; the
+        result stays ascending because masking preserves slice order.
+        Only valid on kinded views (``has_kinds``).
+        """
+        lo, hi = self.type_ptr[node, code], self.type_ptr[node, code + 1]
+        assert self.edge_sig is not None
+        sigs = self.edge_sig[lo:hi]
+        return self.indices[lo:hi][sigs == sig]
 
     def has_edge(self, u: int, v: int) -> bool:
         """True iff the undirected edge (u, v) exists (binary search)."""

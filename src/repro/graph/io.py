@@ -12,6 +12,12 @@ Node ids are serialised as-is, so only JSON-representable ids round-trip
 through :func:`to_json` / :func:`from_json`.  The TSV format stores one
 ``node<TAB>type`` line per node in a ``#nodes`` section and one
 ``u<TAB>v`` line per edge in a ``#edges`` section.
+
+Edges with a non-plain :class:`~repro.graph.typed_graph.EdgeKind` are
+serialised as ``[source, target, label, directed]`` four-entry lists
+(``source<TAB>target<TAB>label<TAB>0|1`` lines in TSV); plain edges keep
+the legacy two-entry form, so a graph without kinds serialises to
+byte-identical output.
 """
 
 from __future__ import annotations
@@ -22,7 +28,13 @@ from pathlib import Path
 import networkx as nx
 
 from repro.exceptions import GraphError
-from repro.graph.typed_graph import TypedGraph
+from repro.graph.typed_graph import PLAIN, EdgeKind, TypedGraph
+
+
+def _edge_entry(u: object, v: object, kind: EdgeKind) -> list:
+    if kind == PLAIN:
+        return [u, v]
+    return [u, v, kind.label, 1 if kind.directed else 0]
 
 
 def to_json(graph: TypedGraph) -> str:
@@ -34,7 +46,10 @@ def to_json(graph: TypedGraph) -> str:
             key=lambda pair: repr(pair[0]),
         ),
         "edges": sorted(
-            ([u, v] for u, v in graph.edges()),
+            (
+                _edge_entry(u, v, kind)
+                for u, v, kind in graph.edges_with_kinds()
+            ),
             key=lambda pair: (repr(pair[0]), repr(pair[1])),
         ),
     }
@@ -58,12 +73,18 @@ def from_json(text: str) -> TypedGraph:
         node = tuple(node) if isinstance(node, list) else node
         graph.add_node(node, node_type)
     for entry in doc["edges"]:
-        if not isinstance(entry, list) or len(entry) != 2:
+        if not isinstance(entry, list) or len(entry) not in (2, 4):
             raise GraphError(f"malformed edge entry: {entry!r}")
-        u, v = entry
+        u, v = entry[0], entry[1]
         u = tuple(u) if isinstance(u, list) else u
         v = tuple(v) if isinstance(v, list) else v
-        graph.add_edge(u, v)
+        if len(entry) == 2:
+            graph.add_edge(u, v)
+        else:
+            label, directed = entry[2], entry[3]
+            if not isinstance(label, str) or directed not in (0, 1):
+                raise GraphError(f"malformed edge kind entry: {entry!r}")
+            graph.add_edge(u, v, EdgeKind(label, bool(directed)))
     return graph
 
 
@@ -85,8 +106,13 @@ def to_tsv(graph: TypedGraph) -> str:
             raise GraphError("TSV serialisation requires string node ids")
         lines.append(f"{node}\t{graph.node_type(node)}")
     lines.append("#edges")
-    for u, v in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
-        lines.append(f"{u}\t{v}")
+    for u, v, kind in sorted(
+        graph.edges_with_kinds(), key=lambda e: (repr(e[0]), repr(e[1]))
+    ):
+        if kind == PLAIN:
+            lines.append(f"{u}\t{v}")
+        else:
+            lines.append(f"{u}\t{v}\t{kind.label}\t{int(kind.directed)}")
     return "\n".join(lines) + "\n"
 
 
@@ -102,12 +128,20 @@ def from_tsv(text: str) -> TypedGraph:
             section = line
             continue
         parts = line.split("\t")
-        if len(parts) != 2:
+        if len(parts) != 2 and not (section == "#edges" and len(parts) == 4):
             raise GraphError(f"TSV line {lineno} is malformed: {raw!r}")
         if section == "#nodes":
             graph.add_node(parts[0], parts[1])
         elif section == "#edges":
-            graph.add_edge(parts[0], parts[1])
+            if len(parts) == 2:
+                graph.add_edge(parts[0], parts[1])
+            else:
+                if parts[3] not in ("0", "1"):
+                    raise GraphError(
+                        f"TSV line {lineno} has a malformed kind: {raw!r}"
+                    )
+                kind = EdgeKind(parts[2], parts[3] == "1")
+                graph.add_edge(parts[0], parts[1], kind)
         else:
             raise GraphError(f"TSV line {lineno} appears before any section header")
     return graph
@@ -118,7 +152,18 @@ def to_networkx(graph: TypedGraph) -> nx.Graph:
     nxg = nx.Graph(name=graph.name)
     for node in graph.nodes():
         nxg.add_node(node, type=graph.node_type(node))
-    nxg.add_edges_from(graph.edges())
+    if graph.has_kinds:
+        for u, v, kind in graph.edges_with_kinds():
+            if kind == PLAIN:
+                nxg.add_edge(u, v)
+            elif kind.directed:
+                # nx.Graph edge attrs are orientation-blind; record the
+                # source explicitly so round-trips keep the direction
+                nxg.add_edge(u, v, label=kind.label, directed=True, source=u)
+            else:
+                nxg.add_edge(u, v, label=kind.label, directed=False)
+    else:
+        nxg.add_edges_from(graph.edges())
     return nxg
 
 
@@ -129,8 +174,14 @@ def from_networkx(nxg: nx.Graph) -> TypedGraph:
         if "type" not in data:
             raise GraphError(f"networkx node {node!r} lacks a 'type' attribute")
         graph.add_node(node, data["type"])
-    for u, v in nxg.edges():
+    for u, v, data in nxg.edges(data=True):
         if u == v:
             continue  # typed graphs are simple; drop self-loops silently
-        graph.add_edge(u, v)
+        if "label" in data or "directed" in data:
+            kind = EdgeKind(data.get("label", ""), bool(data.get("directed")))
+            if kind.directed and data.get("source") == v:
+                u, v = v, u
+            graph.add_edge(u, v, kind)
+        else:
+            graph.add_edge(u, v)
     return graph

@@ -1,9 +1,15 @@
-"""Graph schema: the set of node types and permitted edge type pairs.
+"""Graph schema: node types plus permitted edge rules (type pair x kind).
 
-A :class:`GraphSchema` describes which node types exist and which
-(unordered) pairs of types may be connected by an edge.  Datasets declare
-their schema up front; :class:`repro.graph.builder.GraphBuilder` can
-validate a graph against it, and the miner uses it to prune pattern growth.
+A :class:`GraphSchema` describes which node types exist and which edges
+may connect them.  Historically an edge rule was an unordered pair of
+types; the schema now carries full **edge rules** ``(type, type,
+EdgeKind)`` so labeled and directed edges are first-class.  Directed
+rules are oriented (source type first); undirected rules normalise the
+type pair.  The plain unlabeled-undirected kind keeps every legacy
+dataset working unchanged: ``edge_pairs`` still constructs and exposes
+plain rules, and :attr:`GraphSchema.edge_kinds` — the compatibility
+flag recorded in snapshot manifests — stays ``False`` until a non-plain
+rule is declared.
 """
 
 from __future__ import annotations
@@ -11,11 +17,34 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.exceptions import SchemaError
-from repro.graph.typed_graph import TypedGraph
+from repro.graph.typed_graph import PLAIN, EdgeKind, TypedGraph
+
+#: a permitted edge: (type_a, type_b, kind); oriented iff kind.directed
+EdgeRule = tuple[str, str, EdgeKind]
 
 
 def _norm_pair(a: str, b: str) -> tuple[str, str]:
     return (a, b) if a <= b else (b, a)
+
+
+def _norm_rule(a: str, b: str, kind: EdgeKind) -> EdgeRule:
+    if kind.directed:
+        return (a, b, kind)
+    return (*_norm_pair(a, b), kind)
+
+
+def _coerce_rule(rule: tuple) -> EdgeRule:
+    if len(rule) == 2:
+        a, b = rule
+        return _norm_rule(a, b, PLAIN)
+    if len(rule) == 3:
+        a, b, kind = rule
+        if not isinstance(kind, EdgeKind):
+            if not (isinstance(kind, tuple) and len(kind) == 2):
+                raise SchemaError(f"malformed edge rule kind: {kind!r}")
+            kind = EdgeKind(str(kind[0]), bool(kind[1]))
+        return _norm_rule(a, b, kind)
+    raise SchemaError(f"malformed edge rule: {rule!r}")
 
 
 class GraphSchema:
@@ -26,8 +55,14 @@ class GraphSchema:
     types:
         The node types T.
     edge_pairs:
-        Unordered pairs of types that edges may connect.  Pairs may
-        repeat a type (e.g. ``("user", "user")`` for friendships).
+        Unordered pairs of types that plain (unlabeled, undirected)
+        edges may connect.  Pairs may repeat a type (e.g.
+        ``("user", "user")`` for friendships).
+    edge_rules:
+        Full ``(type_a, type_b, EdgeKind)`` rules.  Rules with a
+        directed kind are oriented (``type_a`` is the source type);
+        undirected rules are normalised.  Two-tuples are accepted and
+        treated as plain pairs.
 
     Examples
     --------
@@ -44,19 +79,24 @@ class GraphSchema:
     def __init__(
         self,
         types: Iterable[str],
-        edge_pairs: Iterable[tuple[str, str]],
+        edge_pairs: Iterable[tuple[str, str]] = (),
+        edge_rules: Iterable[tuple] = (),
     ):
         self._types = frozenset(types)
         if not self._types:
             raise SchemaError("schema must declare at least one type")
-        pairs = set()
+        rules: set[EdgeRule] = set()
         for a, b in edge_pairs:
+            rules.add(_coerce_rule((a, b)))
+        for rule in edge_rules:
+            rules.add(_coerce_rule(tuple(rule)))
+        for a, b, kind in rules:
             if a not in self._types or b not in self._types:
                 raise SchemaError(
-                    f"edge pair ({a!r}, {b!r}) references a type outside {sorted(self._types)}"
+                    f"edge rule ({a!r}, {b!r}, {kind!r}) references a "
+                    f"type outside {sorted(self._types)}"
                 )
-            pairs.add(_norm_pair(a, b))
-        self._edge_pairs = frozenset(pairs)
+        self._edge_rules = frozenset(rules)
 
     @property
     def types(self) -> frozenset[str]:
@@ -65,16 +105,39 @@ class GraphSchema:
 
     @property
     def edge_pairs(self) -> frozenset[tuple[str, str]]:
-        """The declared (sorted) edge type pairs."""
-        return self._edge_pairs
+        """The declared (sorted) type pairs of *plain* edge rules."""
+        return frozenset(
+            (a, b) for a, b, kind in self._edge_rules if kind == PLAIN
+        )
+
+    @property
+    def edge_rules(self) -> frozenset[EdgeRule]:
+        """All declared edge rules (type pair x kind)."""
+        return self._edge_rules
+
+    @property
+    def edge_kinds(self) -> bool:
+        """Compatibility flag: True iff any non-plain rule is declared.
+
+        Recorded in snapshot manifests; loading a kinded snapshot
+        against a plain graph (or vice versa) raises
+        :class:`SchemaError` instead of producing garbage counts.
+        """
+        return any(kind != PLAIN for _, _, kind in self._edge_rules)
 
     def has_type(self, node_type: str) -> bool:
         """True iff ``node_type`` is declared."""
         return node_type in self._types
 
-    def allows_edge(self, type_a: str, type_b: str) -> bool:
-        """True iff an edge may connect nodes of the two types."""
-        return _norm_pair(type_a, type_b) in self._edge_pairs
+    def allows_edge(
+        self, type_a: str, type_b: str, kind: EdgeKind = PLAIN
+    ) -> bool:
+        """True iff an edge of ``kind`` may connect the two types.
+
+        For a directed kind the argument order is the orientation
+        (``type_a`` is the source type).
+        """
+        return _norm_rule(type_a, type_b, kind) in self._edge_rules
 
     def validate_graph(self, graph: TypedGraph) -> None:
         """Raise :class:`SchemaError` if the graph violates this schema."""
@@ -84,11 +147,13 @@ class GraphSchema:
                 raise SchemaError(
                     f"node {node!r} has undeclared type {node_type!r}"
                 )
-        for u, v in graph.edges():
-            pair = graph.edge_type_pair(u, v)
-            if pair not in self._edge_pairs:
+        for u, v, kind in graph.edges_with_kinds():
+            if not self.allows_edge(
+                graph.node_type(u), graph.node_type(v), kind
+            ):
                 raise SchemaError(
-                    f"edge ({u!r}, {v!r}) connects disallowed type pair {pair}"
+                    f"edge ({u!r}, {v!r}) of kind {kind!r} connects a "
+                    f"disallowed type rule"
                 )
 
     @classmethod
@@ -96,15 +161,15 @@ class GraphSchema:
         """Infer the schema actually realised by a graph."""
         if graph.num_nodes == 0:
             raise SchemaError("cannot infer a schema from an empty graph")
-        return cls(types=graph.types, edge_pairs=graph.observed_type_pairs())
+        return cls(types=graph.types, edge_rules=graph.observed_edge_rules())
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GraphSchema):
             return NotImplemented
-        return self._types == other._types and self._edge_pairs == other._edge_pairs
+        return self._types == other._types and self._edge_rules == other._edge_rules
 
     def __repr__(self) -> str:
         return (
             f"<GraphSchema: {len(self._types)} types, "
-            f"{len(self._edge_pairs)} edge pairs>"
+            f"{len(self._edge_rules)} edge rules>"
         )

@@ -5,7 +5,13 @@ The paper (Sect. II-A) models data as an undirected *typed object graph*
 implements this with:
 
 - arbitrary hashable node ids, each with a mandatory string type;
-- undirected, unweighted, simple edges (no self-loops, no multi-edges);
+- unweighted, simple edges (no self-loops, no multi-edges), each
+  optionally carrying an :class:`EdgeKind` — a label plus a
+  directedness flag.  The default :data:`PLAIN` kind reproduces the
+  paper's undirected unlabeled edges exactly; connectivity queries
+  (:meth:`TypedGraph.neighbors`, :meth:`TypedGraph.has_edge`) ignore
+  direction, while :meth:`TypedGraph.edge_signature` exposes the kind
+  constraint the matchers enforce;
 - O(1) adjacency and typed-adjacency lookups, the workhorse of the
   subgraph matching engines in :mod:`repro.matching`.
 
@@ -20,6 +26,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from collections.abc import Hashable, Iterable, Iterator
+from typing import NamedTuple
 
 from repro.exceptions import (
     DuplicateNodeError,
@@ -29,6 +36,38 @@ from repro.exceptions import (
 )
 
 NodeId = Hashable
+
+
+class EdgeKind(NamedTuple):
+    """The kind of an edge: a label crossed with a directedness flag.
+
+    ``EdgeKind("", False)`` (the :data:`PLAIN` default) reproduces the
+    paper's original unlabeled-undirected edges; every pre-existing
+    dataset and snapshot uses it implicitly.  A directed kind's
+    orientation is the argument order of the :meth:`TypedGraph.add_edge`
+    call that created the edge (``u -> v``).
+    """
+
+    label: str = ""
+    directed: bool = False
+
+
+#: the back-compat default kind: unlabeled, undirected
+PLAIN = EdgeKind("", False)
+
+#: an edge signature relative to a (u, v) argument order:
+#: (label, rel) with rel 0 = undirected, 1 = u->v, -1 = v->u
+EdgeSignature = tuple[str, int]
+
+
+def _coerce_kind(kind: object) -> EdgeKind:
+    if isinstance(kind, EdgeKind):
+        return kind
+    if isinstance(kind, tuple) and len(kind) == 2:
+        label, directed = kind
+        if isinstance(label, str) and isinstance(directed, bool):
+            return EdgeKind(label, directed)
+    raise EdgeError(f"edge kind must be an EdgeKind, got {kind!r}")
 
 
 def edge_key(u: NodeId, v: NodeId) -> tuple[NodeId, NodeId]:
@@ -70,6 +109,12 @@ class TypedGraph:
         # typed adjacency: node -> type -> set of neighbours of that type
         self._typed_adj: dict[NodeId, dict[str, set[NodeId]]] = {}
         self._nodes_by_type: dict[str, set[NodeId]] = defaultdict(set)
+        # sparse kind store: only non-PLAIN edges appear, keyed by the
+        # canonical edge key, valued (kind, forward) where ``forward``
+        # records whether the canonical key order is the source->target
+        # orientation of a directed kind.  Plain graphs keep this empty,
+        # so ``has_kinds`` is O(1) and plain behaviour is bit-identical.
+        self._edge_kinds: dict[tuple[NodeId, NodeId], tuple[EdgeKind, bool]] = {}
         self._num_edges = 0
         self._version = 0
 
@@ -107,24 +152,49 @@ class TypedGraph:
         self._nodes_by_type[node_type].add(node)
         self._version += 1
 
-    def add_edge(self, u: NodeId, v: NodeId) -> None:
-        """Add an undirected edge between two existing nodes.
+    def add_edge(self, u: NodeId, v: NodeId, kind: EdgeKind = PLAIN) -> None:
+        """Add an edge of the given kind between two existing nodes.
 
-        Self-loops are rejected; adding an existing edge is a no-op.
+        Self-loops are rejected; re-adding an existing edge with the
+        *same* kind (and, for directed kinds, the same orientation) is a
+        no-op, while a conflicting kind raises :class:`EdgeError` — the
+        graph is simple, so one node pair carries at most one edge kind.
+        For a directed ``kind`` the orientation is ``u -> v``.
         """
         if u == v:
             raise EdgeError(f"self-loops are not allowed (node {u!r})")
         for endpoint in (u, v):
             if endpoint not in self._types:
                 raise NodeNotFoundError(endpoint)
+        kind = _coerce_kind(kind)
+        key = edge_key(u, v)
+        entry = self._entry_for(key, u, kind)
         if v in self._adj[u]:
+            existing = self._edge_kinds.get(key, (PLAIN, True))
+            if existing != entry:
+                raise EdgeError(
+                    f"edge ({u!r}, {v!r}) already exists with a "
+                    f"conflicting kind {existing[0]!r}; cannot re-add "
+                    f"as {kind!r}"
+                )
             return
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._typed_adj[u][self._types[v]].add(v)
         self._typed_adj[v][self._types[u]].add(u)
+        if kind != PLAIN:
+            self._edge_kinds[key] = entry
         self._num_edges += 1
         self._version += 1
+
+    @staticmethod
+    def _entry_for(
+        key: tuple[NodeId, NodeId], source: NodeId, kind: EdgeKind
+    ) -> tuple[EdgeKind, bool]:
+        """Normalised kind-store entry for an edge added as source->?."""
+        if not kind.directed:
+            return (kind, True)
+        return (kind, key[0] == source)
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove an undirected edge; raises :class:`EdgeError` if absent."""
@@ -136,6 +206,7 @@ class TypedGraph:
         self._adj[v].discard(u)
         self._discard_typed(u, v)
         self._discard_typed(v, u)
+        self._edge_kinds.pop(edge_key(u, v), None)
         self._num_edges -= 1
         self._version += 1
 
@@ -208,8 +279,75 @@ class TypedGraph:
             raise NodeNotFoundError(node) from None
 
     def has_edge(self, u: NodeId, v: NodeId) -> bool:
-        """True iff the undirected edge (u, v) exists."""
+        """True iff an edge (of any kind) connects u and v."""
         return u in self._adj and v in self._adj[u]
+
+    @property
+    def has_kinds(self) -> bool:
+        """True iff any edge carries a non-plain kind (O(1))."""
+        return bool(self._edge_kinds)
+
+    def edge_kind(self, u: NodeId, v: NodeId) -> EdgeKind:
+        """The kind of the edge between u and v (:data:`PLAIN` default)."""
+        if not self.has_edge(u, v):
+            if u not in self._types or v not in self._types:
+                raise NodeNotFoundError(u if u not in self._types else v)
+            raise EdgeError(f"edge ({u!r}, {v!r}) is not in the graph")
+        entry = self._edge_kinds.get(edge_key(u, v))
+        return PLAIN if entry is None else entry[0]
+
+    def edge_signature(self, u: NodeId, v: NodeId) -> EdgeSignature:
+        """The edge's (label, rel) signature relative to argument order.
+
+        ``rel`` is 0 for an undirected edge, 1 when the edge is directed
+        ``u -> v`` and -1 when it is directed ``v -> u``.  Raises
+        :class:`EdgeError` when no edge connects the two nodes.
+        """
+        if not self.has_edge(u, v):
+            if u not in self._types or v not in self._types:
+                raise NodeNotFoundError(u if u not in self._types else v)
+            raise EdgeError(f"edge ({u!r}, {v!r}) is not in the graph")
+        entry = self._edge_kinds.get(edge_key(u, v))
+        if entry is None:
+            return ("", 0)
+        kind, forward = entry
+        if not kind.directed:
+            return (kind.label, 0)
+        first_is_u = edge_key(u, v)[0] == u
+        return (kind.label, 1 if forward == first_is_u else -1)
+
+    def edges_with_kinds(self) -> Iterator[tuple[NodeId, NodeId, EdgeKind]]:
+        """Iterate (source, target, kind) triples, one per edge.
+
+        Directed edges are yielded source-first; undirected edges in
+        canonical key order with their (possibly plain) kind.
+        """
+        for u, v in self.edges():
+            entry = self._edge_kinds.get((u, v))
+            if entry is None:
+                yield (u, v, PLAIN)
+            else:
+                kind, forward = entry
+                if kind.directed and not forward:
+                    yield (v, u, kind)
+                else:
+                    yield (u, v, kind)
+
+    def observed_edge_rules(self) -> frozenset[tuple[str, str, EdgeKind]]:
+        """All (type, type, kind) rules realised by at least one edge.
+
+        Directed kinds keep source-type-first orientation; undirected
+        kinds use the sorted type pair.  The mining subsystem grows
+        kinded patterns over these rules.
+        """
+        rules = set()
+        for u, v, kind in self.edges_with_kinds():
+            if kind.directed:
+                rules.add((self.node_type(u), self.node_type(v), kind))
+            else:
+                tu, tv = self.node_type(u), self.node_type(v)
+                rules.add((tu, tv, kind) if tu <= tv else (tv, tu, kind))
+        return frozenset(rules)
 
     def neighbors(self, node: NodeId) -> frozenset[NodeId]:
         """All neighbours of ``node`` (as an immutable snapshot view)."""
@@ -300,7 +438,14 @@ class TypedGraph:
         for node in node_list:
             for nbr in self._adj[node]:
                 if nbr in node_set and not sub.has_edge(node, nbr):
-                    sub.add_edge(node, nbr)
+                    key = edge_key(node, nbr)
+                    entry = self._edge_kinds.get(key)
+                    if entry is None:
+                        sub.add_edge(node, nbr)
+                    else:
+                        kind, forward = entry
+                        src, dst = key if forward else (key[1], key[0])
+                        sub.add_edge(src, dst, kind)
         return sub
 
     def copy(self) -> "TypedGraph":
@@ -308,8 +453,8 @@ class TypedGraph:
         dup = TypedGraph(name=self.name)
         for node, node_type in self._types.items():
             dup.add_node(node, node_type)
-        for u, v in self.edges():
-            dup.add_edge(u, v)
+        for u, v, kind in self.edges_with_kinds():
+            dup.add_edge(u, v, kind)
         return dup
 
     def __getstate__(self) -> dict:
@@ -320,10 +465,17 @@ class TypedGraph:
         state.pop("_csr_view_cache", None)
         return state
 
+    def __setstate__(self, state: dict) -> None:
+        # graphs pickled before the edge-kind refactor lack the store
+        state.setdefault("_edge_kinds", {})
+        self.__dict__.update(state)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TypedGraph):
             return NotImplemented
         if self._types != other._types:
+            return False
+        if self._edge_kinds != other._edge_kinds:
             return False
         return {edge_key(u, v) for u, v in self.edges()} == {
             edge_key(u, v) for u, v in other.edges()

@@ -26,6 +26,7 @@ from repro.index.persist import (
     save_index,
     snapshot_digest,
 )
+from repro.index.rewrite import RewriteRule, RuleBook
 from repro.index.transform import (
     TRANSFORMS,
     Transform,
@@ -52,6 +53,8 @@ __all__ = [
     "LoadedIndex",
     "MetagraphCounts",
     "MetagraphVectors",
+    "RewriteRule",
+    "RuleBook",
     "TRANSFORMS",
     "Transform",
     "affected_region",

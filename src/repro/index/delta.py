@@ -48,7 +48,7 @@ from dataclasses import dataclass, field
 from itertools import chain
 
 from repro.exceptions import DeltaError, EdgeError
-from repro.graph.typed_graph import NodeId, TypedGraph
+from repro.graph.typed_graph import PLAIN, EdgeKind, NodeId, TypedGraph
 from repro.index.instance_index import (
     InstanceIndex,
     MetagraphCounts,
@@ -74,13 +74,16 @@ class GraphEdit:
 
     ``u`` is the primary node (the node itself for node edits, one
     endpoint for edge edits); ``v`` is the other endpoint of an edge
-    edit and ``node_type`` the type of an added node.
+    edit and ``node_type`` the type of an added node.  ``kind`` is the
+    edge kind of an ``add_edge`` edit; for a directed kind the edge is
+    oriented ``u -> v``.
     """
 
     op: str
     u: NodeId
     v: NodeId | None = None
     node_type: str | None = None
+    kind: EdgeKind = PLAIN
 
     def __post_init__(self):
         if self.op not in _OPS:
@@ -89,6 +92,10 @@ class GraphEdit:
             raise DeltaError(f"{self.op} edit needs both endpoints")
         if self.op == "add_node" and self.node_type is None:
             raise DeltaError("add_node edit needs a node_type")
+        if not isinstance(self.kind, EdgeKind):
+            raise DeltaError(f"edit kind must be an EdgeKind, got {self.kind!r}")
+        if self.kind != PLAIN and self.op != "add_edge":
+            raise DeltaError(f"{self.op} edit does not take an edge kind")
 
     @classmethod
     def add_node(cls, node: NodeId, node_type: str) -> "GraphEdit":
@@ -99,8 +106,8 @@ class GraphEdit:
         return cls("remove_node", node)
 
     @classmethod
-    def add_edge(cls, u: NodeId, v: NodeId) -> "GraphEdit":
-        return cls("add_edge", u, v)
+    def add_edge(cls, u: NodeId, v: NodeId, kind: EdgeKind = PLAIN) -> "GraphEdit":
+        return cls("add_edge", u, v, kind=kind)
 
     @classmethod
     def remove_edge(cls, u: NodeId, v: NodeId) -> "GraphEdit":
@@ -113,6 +120,11 @@ class GraphEdit:
             doc["v"] = encode_node_id(self.v)
         if self.node_type is not None:
             doc["node_type"] = self.node_type
+        if self.kind != PLAIN:
+            # emitted only for kinded edges, so plain update logs keep
+            # their exact historical byte layout
+            doc["label"] = self.kind.label
+            doc["directed"] = 1 if self.kind.directed else 0
         return doc
 
     @classmethod
@@ -124,7 +136,14 @@ class GraphEdit:
         except (KeyError, TypeError) as exc:
             raise DeltaError(f"malformed edit record {doc!r}") from exc
         v = decode_node_id(doc["v"]) if "v" in doc else None
-        return cls(op, u, v=v, node_type=doc.get("node_type"))
+        kind = PLAIN
+        if "label" in doc or "directed" in doc:
+            label = doc.get("label", "")
+            directed = doc.get("directed", 0)
+            if not isinstance(label, str) or directed not in (0, 1):
+                raise DeltaError(f"malformed edit kind in record {doc!r}")
+            kind = EdgeKind(label, bool(directed))
+        return cls(op, u, v=v, node_type=doc.get("node_type"), kind=kind)
 
 
 class GraphDelta:
@@ -146,8 +165,10 @@ class GraphDelta:
         self._edits.append(GraphEdit.remove_node(node))
         return self
 
-    def add_edge(self, u: NodeId, v: NodeId) -> "GraphDelta":
-        self._edits.append(GraphEdit.add_edge(u, v))
+    def add_edge(
+        self, u: NodeId, v: NodeId, kind: EdgeKind = PLAIN
+    ) -> "GraphDelta":
+        self._edits.append(GraphEdit.add_edge(u, v, kind))
         return self
 
     def remove_edge(self, u: NodeId, v: NodeId) -> "GraphDelta":
@@ -183,7 +204,7 @@ class GraphDelta:
             elif edit.op == "remove_node":
                 graph.remove_node(edit.u)
             elif edit.op == "add_edge":
-                graph.add_edge(edit.u, edit.v)
+                graph.add_edge(edit.u, edit.v, edit.kind)
             else:
                 graph.remove_edge(edit.u, edit.v)
 
@@ -371,7 +392,17 @@ def _validate(graph: TypedGraph, edit: GraphEdit) -> bool:
     if edit.op == "add_edge":
         if edit.u == edit.v:
             raise EdgeError(f"self-loops are not allowed (node {edit.u!r})")
-        return not graph.has_edge(edit.u, edit.v)
+        if not graph.has_edge(edit.u, edit.v):
+            return True
+        # re-adding with the same kind is a no-op; a conflicting kind is
+        # the same error the direct mutation raises
+        expected = (edit.kind.label, 1 if edit.kind.directed else 0)
+        if graph.edge_signature(edit.u, edit.v) != expected:
+            raise EdgeError(
+                f"edge ({edit.u!r}, {edit.v!r}) already exists with a "
+                "different kind"
+            )
+        return False
     if not graph.has_edge(edit.u, edit.v):
         raise EdgeError(f"edge ({edit.u!r}, {edit.v!r}) is not in the graph")
     return True
@@ -439,7 +470,7 @@ def apply_delta(
             pre = _enumerate_for_edge(
                 graph, catalog, mg_ids, edit.u, edit.v, False, radius
             )
-            graph.add_edge(edit.u, edit.v)
+            graph.add_edge(edit.u, edit.v, edit.kind)
             post = _enumerate_for_edge(
                 graph, catalog, mg_ids, edit.u, edit.v, True, radius
             )

@@ -44,7 +44,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import CatalogMismatchError, SnapshotError, StaleSnapshotError
+from repro.exceptions import (
+    CatalogMismatchError,
+    SchemaError,
+    SnapshotError,
+    StaleSnapshotError,
+)
 from repro.graph.typed_graph import TypedGraph
 from repro.index.compiled import CompiledVectors
 from repro.index.instance_index import InstanceIndex, MetagraphCounts
@@ -53,9 +58,13 @@ from repro.index.vectors import MetagraphVectors, decode_node_id, encode_node_id
 from repro.metagraph.catalog import MetagraphCatalog
 
 FORMAT_VERSION = 2
+# snapshots of edge-kinded graphs bump to format 3 and carry a "schema"
+# manifest block; plain graphs keep writing format 2 so their snapshot
+# bytes are unchanged by the schema feature existing
+KINDED_FORMAT_VERSION = 3
 # format 1 snapshots (no compiled sidecar) still load; the sidecar fast
 # path is simply unavailable for them
-SUPPORTED_FORMAT_VERSIONS = frozenset({1, FORMAT_VERSION})
+SUPPORTED_FORMAT_VERSIONS = frozenset({1, FORMAT_VERSION, KINDED_FORMAT_VERSION})
 MANIFEST_FILE = "manifest.json"
 CATALOG_FILE = "catalog.json"
 ARRAYS_FILE = "arrays.npz"
@@ -86,8 +95,21 @@ def graph_fingerprint(graph: TypedGraph) -> str:
         ([encode_node_id(node), graph.node_type(node)] for node in graph.nodes()),
         key=repr,
     )
+    # plain edges keep their historical 2-entry shape so plain-graph
+    # fingerprints (and every snapshot keyed on them) are unchanged;
+    # kinded edges extend to [u, v, label, directed], oriented u -> v
     edges = sorted(
-        ([encode_node_id(u), encode_node_id(v)] for u, v in graph.edges()),
+        (
+            [encode_node_id(u), encode_node_id(v)]
+            if kind.label == "" and not kind.directed
+            else [
+                encode_node_id(u),
+                encode_node_id(v),
+                kind.label,
+                1 if kind.directed else 0,
+            ]
+            for u, v, kind in graph.edges_with_kinds()
+        ),
         key=repr,
     )
     doc = json.dumps([nodes, edges], separators=(",", ":"), sort_keys=True)
@@ -240,8 +262,13 @@ def save_index(
     compiled_members, compiled_staging = _stage_compiled_sidecar(
         target, vectors, nodes
     )
+    # kinded graphs bump the format and record their schema (types and
+    # observed edge rules) so `repro index info` can print it and loads
+    # against a schema-mismatched graph fail fast; plain graphs write
+    # neither, keeping their snapshot bytes identical to format 2
+    kinded = graph is not None and graph.has_kinds
     manifest = {
-        "format_version": FORMAT_VERSION,
+        "format_version": KINDED_FORMAT_VERSION if kinded else FORMAT_VERSION,
         "compiled_arrays": compiled_members,
         "catalog_size": vectors.catalog_size,
         "anchor_type": vectors.anchor_type,
@@ -261,6 +288,15 @@ def save_index(
             "matched": len(vectors.matched_ids),
         },
     }
+    if kinded:
+        manifest["schema"] = {
+            "edge_kinds": True,
+            "types": sorted(graph.types),
+            "edge_rules": sorted(
+                [a, b, kind.label, 1 if kind.directed else 0]
+                for a, b, kind in graph.observed_edge_rules()
+            ),
+        }
     manifest["manifest_sha256"] = _manifest_digest(manifest)
     (target / CATALOG_FILE).write_text(catalog_json, encoding="utf-8")
     (target / ARRAYS_FILE).write_bytes(npz_bytes)
@@ -562,6 +598,21 @@ def load_index(
     manifest = read_manifest(source)
 
     if graph is not None:
+        schema = manifest.get("schema") or {}
+        recorded_kinds = bool(schema.get("edge_kinds", False))
+        if (
+            manifest.get("graph_fingerprint") is not None
+            and graph.has_kinds != recorded_kinds
+        ):
+            # a schema-flag mismatch is a structural error, not mere
+            # staleness: the graph and the snapshot disagree on whether
+            # edges carry kinds at all
+            raise SchemaError(
+                "snapshot schema mismatch: snapshot "
+                f"{'has' if recorded_kinds else 'has no'} edge kinds but "
+                f"the graph {'has' if graph.has_kinds else 'has no'} "
+                "edge kinds"
+            )
         recorded = manifest.get("graph_fingerprint")
         current = graph_fingerprint(graph)
         if recorded != current:

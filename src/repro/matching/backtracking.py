@@ -8,6 +8,9 @@ the next pattern node, computes the candidate set ``C(u_{k+1} | D_k)``:
 - must be adjacent to the image of every matched pattern neighbour;
 - must be non-adjacent to the image of every matched pattern
   non-neighbour (induced semantics, Def. 2);
+- when the pattern or graph carries edge kinds, the (label, direction)
+  signature of every matched pattern edge must equal the corresponding
+  graph edge's signature;
 - must not already be used (injectivity).
 
 Candidates are generated from the *smallest* typed adjacency list among
@@ -78,6 +81,18 @@ def backtrack_embeddings(
     n = metagraph.size
     neighbors_at, nonneighbors_at = _prefix_structure(metagraph, order)
     types_at = [metagraph.node_type(u) for u in order]
+    # edge-kind constraints are checked only when either side carries
+    # kinds, so plain graphs/patterns run the exact legacy code path
+    kinds_active = metagraph.has_kinds or graph.has_kinds
+    sigs_at: list[dict[int, tuple[str, int]]] = []
+    if kinds_active:
+        for i, u in enumerate(order):
+            sigs_at.append(
+                {
+                    j: metagraph.edge_signature(order[j], u)
+                    for j in neighbors_at[i]
+                }
+            )
     assignment: list[NodeId | None] = [None] * n  # indexed by order position
     used: set[NodeId] = set()
     cache: dict[tuple, tuple[NodeId, ...]] = {}
@@ -126,6 +141,11 @@ def backtrack_embeddings(
                 if v not in graph.adjacency(assignment[j]):
                     ok = False
                     break
+            if ok and kinds_active:
+                for j, expected in sigs_at[i].items():
+                    if graph.edge_signature(assignment[j], v) != expected:
+                        ok = False
+                        break
             if ok:
                 yield v
 

@@ -68,11 +68,19 @@ def is_valid_embedding(
     for u, v in embedding.items():
         if v not in graph or graph.node_type(v) != metagraph.node_type(u):
             return False
+    kinds_active = metagraph.has_kinds or graph.has_kinds
     for u in metagraph.nodes():
         for w in range(u + 1, metagraph.size):
             pattern_edge = metagraph.has_edge(u, w)
             graph_edge = graph.has_edge(embedding[u], embedding[w])
             if pattern_edge != graph_edge:
+                return False
+            if (
+                pattern_edge
+                and kinds_active
+                and metagraph.edge_signature(u, w)
+                != graph.edge_signature(embedding[u], embedding[w])
+            ):
                 return False
     return True
 

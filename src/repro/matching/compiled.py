@@ -107,6 +107,7 @@ def _base_candidates(
     metagraph: Metagraph,
     tcodes: Sequence[int],
     pool: Mapping[int, np.ndarray] | None,
+    kinds_active: bool = False,
 ) -> tuple[list[np.ndarray], list[bool]] | None:
     """Per-pattern-node global candidate arrays (profile filter ∩ pool).
 
@@ -114,20 +115,37 @@ def _base_candidates(
     a full base filters nothing, so the search skips intersecting
     against it.  Returns None when some pattern node has no candidates
     at all — the vectorised equivalent of ``candidate_regions``
-    returning None.
+    returning None.  With ``kinds_active`` the filter compares the
+    per-(type, signature) profile matrix instead, so a node lacking the
+    right labeled/directed neighbour edges is pruned up front.
     """
     num_types = csr.num_types
+    num_sigs = csr.num_sigs
     base: list[np.ndarray] = []
     full: list[bool] = []
     for u in metagraph.nodes():
-        profile = np.zeros(num_types, dtype=csr.profiles.dtype)
-        for v in metagraph.neighbors(u):
-            code_v = csr.type_id(metagraph.node_type(v))
-            if code_v is None:  # neighbour type absent: nothing can match
-                return None
-            profile[code_v] += 1
-        lo, hi = csr.type_range(tcodes[u])
-        mask = (csr.profiles[lo:hi] >= profile).all(axis=1)
+        if kinds_active:
+            assert csr.sig_profiles is not None
+            profile = np.zeros(num_types * num_sigs, dtype=csr.profiles.dtype)
+            for v in metagraph.neighbors(u):
+                code_v = csr.type_id(metagraph.node_type(v))
+                if code_v is None:  # neighbour type absent: no match
+                    return None
+                sig = csr.sig_id(*metagraph.edge_signature(u, v))
+                if sig is None:  # signature never occurs in the graph
+                    return None
+                profile[code_v * num_sigs + sig] += 1
+            lo, hi = csr.type_range(tcodes[u])
+            mask = (csr.sig_profiles[lo:hi] >= profile).all(axis=1)
+        else:
+            profile = np.zeros(num_types, dtype=csr.profiles.dtype)
+            for v in metagraph.neighbors(u):
+                code_v = csr.type_id(metagraph.node_type(v))
+                if code_v is None:  # neighbour type absent: nothing can match
+                    return None
+                profile[code_v] += 1
+            lo, hi = csr.type_range(tcodes[u])
+            mask = (csr.profiles[lo:hi] >= profile).all(axis=1)
         cand = lo + np.nonzero(mask)[0]
         if pool is not None and u in pool:
             restricted = pool[u]
@@ -161,13 +179,17 @@ def _assignment_batches(
     embedding whose kept automorphic partner the pool rejects.
     """
     n = metagraph.size
+    if metagraph.has_kinds and not csr.has_kinds:
+        # a kinded pattern edge can never match a plain graph
+        return
+    kinds_active = metagraph.has_kinds or csr.has_kinds
     tcodes: list[int] = []
     for u in metagraph.nodes():
         code = csr.type_id(metagraph.node_type(u))
         if code is None:
             return
         tcodes.append(code)
-    built = _base_candidates(csr, metagraph, tcodes, pool)
+    built = _base_candidates(csr, metagraph, tcodes, pool, kinds_active)
     if built is None:
         return
     base, base_full = built
@@ -176,6 +198,17 @@ def _assignment_batches(
         return
     neighbors_at, nonneighbors_at = _prefix_structure(metagraph, order)
     cut = _symmetry_cut(metagraph, order) if break_symmetry else None
+    # per position: the signature code each matched-neighbour slice must
+    # carry, aligned with neighbors_at[i] (kinded graphs only)
+    sig_code_at: list[list[int | None]] = []
+    if kinds_active:
+        for i, u in enumerate(order):
+            sig_code_at.append(
+                [
+                    csr.sig_id(*metagraph.edge_signature(order[j], u))
+                    for j in neighbors_at[i]
+                ]
+            )
 
     assignment = [0] * n  # dense graph ids, indexed by order position
     used: set[int] = set()
@@ -188,11 +221,26 @@ def _assignment_batches(
         j for j in range(last) if tcodes[order[j]] == tcodes[order[last]]
     ]
 
+    empty = np.empty(0, dtype=csr.indices.dtype)
+
     def candidates(i: int) -> np.ndarray:
         code = tcodes[order[i]]
         nbr_positions = neighbors_at[i]
         if nbr_positions:
-            slices = [csr.typed_neighbors(assignment[j], code) for j in nbr_positions]
+            if kinds_active:
+                slices = []
+                for k, j in enumerate(nbr_positions):
+                    sig = sig_code_at[i][k]
+                    if sig is None:
+                        return empty
+                    slices.append(
+                        csr.typed_neighbors_sig(assignment[j], code, sig)
+                    )
+            else:
+                slices = [
+                    csr.typed_neighbors(assignment[j], code)
+                    for j in nbr_positions
+                ]
             if len(slices) == 1:
                 cand = slices[0]
             else:

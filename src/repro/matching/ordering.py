@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
+from collections.abc import Callable
 
 from repro.graph.typed_graph import TypedGraph
 from repro.metagraph.metagraph import Metagraph
@@ -93,7 +94,9 @@ def estimated_cost_order(
     return order
 
 
-def _rarity_key(graph: TypedGraph, metagraph: Metagraph):
+def _rarity_key(
+    graph: TypedGraph, metagraph: Metagraph
+) -> Callable[[int], tuple[int, int, int]]:
     """Preference for the next pattern node: rarest type, then higher
     pattern degree (more constraints earlier), then node id."""
 

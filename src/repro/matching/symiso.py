@@ -220,17 +220,27 @@ def _component_assignments(
         else:
             yield from graph.nodes_of_type(node_type)
 
+    kinds_active = metagraph.has_kinds or graph.has_kinds
+
     def induced_ok(u: int, v: NodeId) -> bool:
         adj_v = graph.adjacency(v)
         for w, img in assignment.items():
             if metagraph.has_edge(u, w):
                 if img not in adj_v:
                     return False
+                if kinds_active and graph.edge_signature(
+                    v, img
+                ) != metagraph.edge_signature(u, w):
+                    return False
             elif img in adj_v:
                 return False
         for w, img in local.items():
             if metagraph.has_edge(u, w):
                 if img not in adj_v:
+                    return False
+                if kinds_active and graph.edge_signature(
+                    v, img
+                ) != metagraph.edge_signature(u, w):
                     return False
             elif img in adj_v:
                 return False
@@ -260,28 +270,43 @@ def _cross_structure(
     metagraph: Metagraph,
     rep_nodes: Sequence[int],
     twin_nodes: Sequence[int],
-) -> list[list[tuple[int, bool]]]:
-    """Per rep position: (twin position, must-be-adjacent) constraints."""
-    structure: list[list[tuple[int, bool]]] = []
+    kinds_active: bool = False,
+) -> list[list[tuple[int, bool, tuple[str, int] | None]]]:
+    """Per rep position: (twin position, must-be-adjacent, signature).
+
+    The signature entry is ``None`` unless ``kinds_active`` and the
+    pattern edge exists, keeping the plain path allocation-identical.
+    """
+    structure: list[list[tuple[int, bool, tuple[str, int] | None]]] = []
     for u in rep_nodes:
-        constraints = [
-            (j, metagraph.has_edge(u, w)) for j, w in enumerate(twin_nodes)
-        ]
+        constraints = []
+        for j, w in enumerate(twin_nodes):
+            must_connect = metagraph.has_edge(u, w)
+            sig = (
+                metagraph.edge_signature(u, w)
+                if kinds_active and must_connect
+                else None
+            )
+            constraints.append((j, must_connect, sig))
         structure.append(constraints)
     return structure
 
 
 def _cross_ok(
     graph: TypedGraph,
-    structure: list[list[tuple[int, bool]]],
+    structure: list[list[tuple[int, bool, tuple[str, int] | None]]],
     rep_tuple: tuple[NodeId, ...],
     twin_tuple: tuple[NodeId, ...],
 ) -> bool:
     """Induced edge/non-edge checks between the two components of a family."""
     for i, constraints in enumerate(structure):
         adj_u = graph.adjacency(rep_tuple[i])
-        for j, must_connect in constraints:
+        for j, must_connect, sig in constraints:
             if (twin_tuple[j] in adj_u) != must_connect:
+                return False
+            if sig is not None and graph.edge_signature(
+                rep_tuple[i], twin_tuple[j]
+            ) != sig:
                 return False
     return True
 
@@ -295,6 +320,7 @@ def _match_groups(
     assignment: dict[int, NodeId] = {}
     used: set[NodeId] = set()
     sigma = decomp.sigma
+    kinds_active = metagraph.has_kinds or graph.has_kinds
 
     def extend(g: int) -> Iterator[Embedding]:
         if g == len(groups):
@@ -328,6 +354,11 @@ def _match_groups(
             u = rep_nodes[0]
             v = twin_aligned[0]
             must_connect = metagraph.has_edge(u, v)
+            pair_sig = (
+                metagraph.edge_signature(u, v)
+                if kinds_active and must_connect
+                else None
+            )
             scalars = [t[0] for t in rep_matchings]
             for i, a in enumerate(scalars):
                 adj_a = graph.adjacency(a)
@@ -335,6 +366,10 @@ def _match_groups(
                 used.add(a)
                 for b in scalars[i + 1 :]:
                     if (b in adj_a) != must_connect:
+                        continue
+                    if pair_sig is not None and graph.edge_signature(
+                        a, b
+                    ) != pair_sig:
                         continue
                     assignment[v] = b
                     used.add(b)
@@ -346,7 +381,9 @@ def _match_groups(
         elif safe:
             # Reuse C(S|D) for the twin; i < j keeps one of each
             # sigma-swapped duplicate pair.
-            structure = _cross_structure(metagraph, rep_nodes, twin_aligned)
+            structure = _cross_structure(
+                metagraph, rep_nodes, twin_aligned, kinds_active
+            )
             match_sets = [set(t) for t in rep_matchings]
             for i in range(len(rep_matchings)):
                 rep_tuple = rep_matchings[i]

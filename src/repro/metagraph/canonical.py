@@ -15,14 +15,19 @@ trivially small for patterns of this size.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from itertools import permutations
 
-from repro.metagraph.metagraph import Edge, Metagraph
+from repro.graph.typed_graph import EdgeKind
+from repro.metagraph.metagraph import Metagraph
 
-CanonicalForm = tuple[tuple[str, ...], tuple[Edge, ...]]
+#: a plain form is (types, (u, v) edges); a kinded form extends every
+#: edge entry to (u, v, label, rel) — the tuple shapes differ, so plain
+#: and kinded patterns can never collide
+CanonicalForm = tuple[tuple[str, ...], tuple[tuple, ...]]
 
 
-def _grouped_permutations(metagraph: Metagraph):
+def _grouped_permutations(metagraph: Metagraph) -> Iterator[list[int]]:
     """Yield node permutations mapping old ids onto type-sorted positions.
 
     Positions are assigned so that the permuted type sequence equals the
@@ -37,7 +42,7 @@ def _grouped_permutations(metagraph: Metagraph):
     type_classes = sorted(slots_by_type)
     members = {t: metagraph.nodes_of_type(t) for t in type_classes}
 
-    def expand(class_idx: int, mapping: dict[int, int]):
+    def expand(class_idx: int, mapping: dict[int, int]) -> Iterator[list[int]]:
         if class_idx == len(type_classes):
             yield [mapping[i] for i in range(n)]
             return
@@ -52,24 +57,51 @@ def _grouped_permutations(metagraph: Metagraph):
     yield from expand(0, {})
 
 
+def _mapped_kinded_edge(
+    a: int, b: int, label: str, rel: int
+) -> tuple[int, int, str, int]:
+    """Normalise a relabelled kinded edge entry to ``a < b`` order."""
+    if a < b:
+        return (a, b, label, rel)
+    return (b, a, label, -rel)
+
+
 def canonical_form(metagraph: Metagraph) -> CanonicalForm:
     """The canonical ``(types, edges)`` encoding of a metagraph.
 
     Invariant under any relabelling of the metagraph's nodes:
     ``canonical_form(m) == canonical_form(m.relabeled(p))`` for every
-    permutation ``p``.
+    permutation ``p``.  Patterns without edge kinds keep the legacy
+    two-tuple edge encoding exactly; kinded patterns extend every edge
+    to ``(u, v, label, rel)`` so patterns that differ only in edge
+    roles stop colliding.
     """
+    kinded = metagraph.has_kinds
+    kinded_edges = list(metagraph.edges_with_kinds()) if kinded else []
     best: CanonicalForm | None = None
     for mapping in _grouped_permutations(metagraph):
         types = [""] * metagraph.size
         for old, new in enumerate(mapping):
             types[new] = metagraph.node_type(old)
-        edges = tuple(
-            sorted(
-                (mapping[u], mapping[v]) if mapping[u] < mapping[v] else (mapping[v], mapping[u])
-                for u, v in metagraph.edges
+        if kinded:
+            edges = tuple(
+                sorted(
+                    _mapped_kinded_edge(
+                        mapping[u],
+                        mapping[v],
+                        kind.label,
+                        1 if kind.directed else 0,
+                    )
+                    for u, v, kind in kinded_edges
+                )
             )
-        )
+        else:
+            edges = tuple(
+                sorted(
+                    (mapping[u], mapping[v]) if mapping[u] < mapping[v] else (mapping[v], mapping[u])
+                    for u, v in metagraph.edges
+                )
+            )
         candidate = (tuple(types), edges)
         if best is None or candidate < best:
             best = candidate
@@ -77,10 +109,28 @@ def canonical_form(metagraph: Metagraph) -> CanonicalForm:
     return best
 
 
+def form_edge_entry(entry: tuple) -> tuple:
+    """Decode one canonical-form edge entry into a constructor edge.
+
+    Two-tuples pass through; ``(u, v, label, rel)`` entries become
+    oriented ``(source, target, EdgeKind)`` triples.
+    """
+    if len(entry) == 2:
+        return entry
+    u, v, label, rel = entry
+    if rel == 0:
+        return (u, v, EdgeKind(label, False))
+    if rel == 1:
+        return (u, v, EdgeKind(label, True))
+    return (v, u, EdgeKind(label, True))
+
+
 def canonicalize(metagraph: Metagraph) -> Metagraph:
     """Return the canonically labelled copy of a metagraph."""
     types, edges = canonical_form(metagraph)
-    return Metagraph(types, edges, name=metagraph.name)
+    return Metagraph(
+        types, [form_edge_entry(e) for e in edges], name=metagraph.name
+    )
 
 
 def are_isomorphic(a: Metagraph, b: Metagraph) -> bool:

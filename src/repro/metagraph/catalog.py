@@ -15,7 +15,12 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from repro.exceptions import CatalogMismatchError, MetagraphError
-from repro.metagraph.canonical import CanonicalForm, canonical_form, canonicalize
+from repro.metagraph.canonical import (
+    CanonicalForm,
+    canonical_form,
+    canonicalize,
+    form_edge_entry,
+)
 from repro.metagraph.metagraph import Metagraph
 from repro.metagraph.symmetry import anchor_symmetric_pairs, is_symmetric
 
@@ -148,6 +153,22 @@ class MetagraphCatalog:
     # ------------------------------------------------------------------
     # serialisation
     # ------------------------------------------------------------------
+    @staticmethod
+    def _edge_doc(m: Metagraph) -> list[list]:
+        """JSON edge entries: legacy pairs, or (u, v, label, rel) when kinded."""
+        if not m.has_kinds:
+            return [list(e) for e in sorted(m.edges)]
+        entries = []
+        for u, v, kind in m.edges_with_kinds():
+            if not kind.directed:
+                a, b = (u, v) if u < v else (v, u)
+                entries.append([a, b, kind.label, 0])
+            elif u < v:
+                entries.append([u, v, kind.label, 1])
+            else:
+                entries.append([v, u, kind.label, -1])
+        return sorted(entries)
+
     def to_json(self) -> str:
         """Serialise the catalog to JSON."""
         doc = {
@@ -156,7 +177,7 @@ class MetagraphCatalog:
                 {
                     "name": m.name,
                     "types": list(m.types),
-                    "edges": sorted(m.edges),
+                    "edges": self._edge_doc(m),
                 }
                 for m in self._members
             ],
@@ -172,7 +193,7 @@ class MetagraphCatalog:
             catalog.add(
                 Metagraph(
                     entry["types"],
-                    [tuple(e) for e in entry["edges"]],
+                    [form_edge_entry(tuple(e)) for e in entry["edges"]],
                     name=entry.get("name", ""),
                 )
             )

@@ -10,9 +10,15 @@ listing for unusual patterns.
 from __future__ import annotations
 
 from collections import Counter
+from typing import TYPE_CHECKING
 
 from repro.metagraph.metagraph import Metagraph
 from repro.metagraph.symmetry import anchor_symmetric_pairs
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.metagraph.catalog import MetagraphCatalog
 
 
 def _fmt_types(types: list[str]) -> str:
@@ -78,7 +84,11 @@ def _path_order(metagraph: Metagraph) -> list[int]:
 
 
 def describe_weights(
-    catalog, weights, anchor_type: str = "user", k: int = 5, min_weight: float = 0.05
+    catalog: MetagraphCatalog,
+    weights: np.ndarray,
+    anchor_type: str = "user",
+    k: int = 5,
+    min_weight: float = 0.05,
 ) -> list[str]:
     """The top-k learned metagraphs as readable lines (for reports)."""
     import numpy as np

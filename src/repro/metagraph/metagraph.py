@@ -18,14 +18,30 @@ from collections.abc import Iterable, Sequence
 from functools import cached_property
 
 from repro.exceptions import InvalidMetagraphError
+from repro.graph.typed_graph import PLAIN, EdgeKind, EdgeSignature
 
 Edge = tuple[int, int]
+
+#: (edge, (label, rel)) pairs, sorted — the hashable kind encoding
+KindItems = tuple[tuple[Edge, EdgeSignature], ...]
 
 
 def _normalize_edge(u: int, v: int) -> Edge:
     if u == v:
         raise InvalidMetagraphError(f"self-loop on node {u} is not allowed")
     return (u, v) if u < v else (v, u)
+
+
+def _normalize_kind(u: int, v: int, kind: EdgeKind) -> tuple[Edge, EdgeSignature]:
+    """Normalise an oriented (u, v, kind) into (edge, signature).
+
+    The signature is stored relative to the normalised ``a < b`` edge:
+    rel 0 = undirected, 1 = ``a -> b``, -1 = ``b -> a``.
+    """
+    edge = _normalize_edge(u, v)
+    if not kind.directed:
+        return edge, (kind.label, 0)
+    return edge, (kind.label, 1 if edge[0] == u else -1)
 
 
 class Metagraph:
@@ -36,7 +52,10 @@ class Metagraph:
     types:
         ``types[i]`` is the type of pattern node ``i``.
     edges:
-        Undirected edges as pairs of node indexes.
+        Edges as ``(u, v)`` pairs of node indexes, or ``(u, v, kind)``
+        triples carrying an :class:`~repro.graph.typed_graph.EdgeKind`
+        (oriented ``u -> v`` when the kind is directed).  Plain pairs
+        reproduce the paper's undirected unlabeled pattern edges.
     name:
         Optional label (e.g. ``"M1"``) used in reports.
 
@@ -51,12 +70,12 @@ class Metagraph:
     3
     """
 
-    __slots__ = ("_types", "_edges", "_adj", "name", "__dict__")
+    __slots__ = ("_types", "_edges", "_kinds", "_adj", "name", "__dict__")
 
     def __init__(
         self,
         types: Sequence[str],
-        edges: Iterable[tuple[int, int]],
+        edges: Iterable[tuple],
         name: str = "",
     ):
         self._types: tuple[str, ...] = tuple(types)
@@ -66,14 +85,36 @@ class Metagraph:
             if not isinstance(t, str) or not t:
                 raise InvalidMetagraphError(f"invalid node type {t!r}")
         n = len(self._types)
-        normalized = set()
-        for u, v in edges:
+        normalized: set[Edge] = set()
+        kinds: dict[Edge, EdgeSignature] = {}
+        for entry in edges:
+            if len(entry) == 2:
+                u, v = entry
+                kind = PLAIN
+            elif len(entry) == 3:
+                u, v, kind = entry
+                if not isinstance(kind, EdgeKind):
+                    raise InvalidMetagraphError(
+                        f"edge ({u}, {v}) kind must be an EdgeKind, "
+                        f"got {kind!r}"
+                    )
+            else:
+                raise InvalidMetagraphError(f"malformed edge entry {entry!r}")
             if not (0 <= u < n and 0 <= v < n):
                 raise InvalidMetagraphError(
                     f"edge ({u}, {v}) references a node outside 0..{n - 1}"
                 )
-            normalized.add(_normalize_edge(u, v))
+            edge, sig = _normalize_kind(u, v, kind)
+            if edge in normalized:
+                if kinds.get(edge, ("", 0)) != sig:
+                    raise InvalidMetagraphError(
+                        f"edge {edge} declared twice with conflicting kinds"
+                    )
+            normalized.add(edge)
+            if sig != ("", 0):
+                kinds[edge] = sig
         self._edges: frozenset[Edge] = frozenset(normalized)
+        self._kinds: dict[Edge, EdgeSignature] = kinds
         adj: list[set[int]] = [set() for _ in range(n)]
         for u, v in self._edges:
             adj[u].add(v)
@@ -133,6 +174,47 @@ class Metagraph:
         """True iff the pattern edge (u, v) exists."""
         return _normalize_edge(u, v) in self._edges if u != v else False
 
+    @property
+    def has_kinds(self) -> bool:
+        """True iff any pattern edge carries a non-plain kind (O(1))."""
+        return bool(self._kinds)
+
+    @cached_property
+    def kind_items(self) -> KindItems:
+        """Sorted, hashable (edge, signature) pairs of non-plain edges."""
+        return tuple(sorted(self._kinds.items()))
+
+    def edge_kind(self, u: int, v: int) -> EdgeKind:
+        """The kind of pattern edge (u, v) (:data:`PLAIN` default)."""
+        label, rel = self.edge_signature(u, v)
+        return EdgeKind(label, rel != 0)
+
+    def edge_signature(self, u: int, v: int) -> EdgeSignature:
+        """The pattern edge's (label, rel) relative to argument order.
+
+        ``rel`` is 0 for undirected, 1 for ``u -> v``, -1 for
+        ``v -> u``.  Raises :class:`InvalidMetagraphError` when the edge
+        is absent.
+        """
+        edge = _normalize_edge(u, v)
+        if edge not in self._edges:
+            raise InvalidMetagraphError(f"pattern edge ({u}, {v}) does not exist")
+        label, rel = self._kinds.get(edge, ("", 0))
+        if rel != 0 and edge[0] != u:
+            rel = -rel
+        return (label, rel)
+
+    def edges_with_kinds(self) -> Iterable[tuple[int, int, EdgeKind]]:
+        """(source, target, kind) triples, directed edges source-first."""
+        for u, v in sorted(self._edges):
+            label, rel = self._kinds.get((u, v), ("", 0))
+            if rel == -1:
+                yield (v, u, EdgeKind(label, True))
+            elif rel == 1:
+                yield (u, v, EdgeKind(label, True))
+            else:
+                yield (u, v, EdgeKind(label, False))
+
     def nodes(self) -> range:
         """Node ids 0..n-1."""
         return range(self.size)
@@ -183,15 +265,15 @@ class Metagraph:
         index = {node: i for i, node in enumerate(nodes)}
         sub_types = [self._types[node] for node in nodes]
         sub_edges = [
-            (index[u], index[v])
-            for u, v in self._edges
+            (index[u], index[v], kind)
+            for u, v, kind in self.edges_with_kinds()
             if u in index and v in index
         ]
         return Metagraph(sub_types, sub_edges)
 
     def with_name(self, name: str) -> "Metagraph":
         """A copy carrying a different display name."""
-        return Metagraph(self._types, self._edges, name=name)
+        return Metagraph(self._types, self.edges_with_kinds(), name=name)
 
     def relabeled(self, permutation: Sequence[int]) -> "Metagraph":
         """Apply a node relabelling: new node ``permutation[i]`` gets old ``i``.
@@ -204,7 +286,10 @@ class Metagraph:
         new_types = [""] * n
         for old, new in enumerate(permutation):
             new_types[new] = self._types[old]
-        new_edges = [(permutation[u], permutation[v]) for u, v in self._edges]
+        new_edges = [
+            (permutation[u], permutation[v], kind)
+            for u, v, kind in self.edges_with_kinds()
+        ]
         return Metagraph(new_types, new_edges, name=self.name)
 
     # ------------------------------------------------------------------
@@ -213,10 +298,14 @@ class Metagraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Metagraph):
             return NotImplemented
-        return self._types == other._types and self._edges == other._edges
+        return (
+            self._types == other._types
+            and self._edges == other._edges
+            and self._kinds == other._kinds
+        )
 
     def __hash__(self) -> int:
-        return hash((self._types, self._edges))
+        return hash((self._types, self._edges, self.kind_items))
 
     def __repr__(self) -> str:
         label = f" {self.name}" if self.name else ""

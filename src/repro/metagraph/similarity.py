@@ -19,7 +19,7 @@ from __future__ import annotations
 from functools import lru_cache
 from itertools import combinations
 
-from repro.metagraph.canonical import canonical_form
+from repro.metagraph.canonical import canonical_form, form_edge_entry
 from repro.metagraph.metagraph import Metagraph
 
 
@@ -69,8 +69,18 @@ def _embeds_induced(pattern: Metagraph, host: Metagraph) -> bool:
             if h in used:
                 continue
             ok = True
+            kinded = pattern.has_kinds or host.has_kinds
             for q in range(p):
-                if pattern.has_edge(p, q) != host.has_edge(h, assignment[q]):
+                adjacent = pattern.has_edge(p, q)
+                if adjacent != host.has_edge(h, assignment[q]):
+                    ok = False
+                    break
+                if (
+                    adjacent
+                    and kinded
+                    and pattern.edge_signature(p, q)
+                    != host.edge_signature(h, assignment[q])
+                ):
                     ok = False
                     break
             if ok:
@@ -86,9 +96,11 @@ def _embeds_induced(pattern: Metagraph, host: Metagraph) -> bool:
 
 
 @lru_cache(maxsize=65536)
-def _mcs_size_cached(form_a, form_b) -> tuple[int, int]:
-    a = Metagraph(form_a[0], form_a[1])
-    b = Metagraph(form_b[0], form_b[1])
+def _mcs_size_cached(
+    form_a: CanonicalForm, form_b: CanonicalForm
+) -> tuple[int, int]:
+    a = Metagraph(form_a[0], [form_edge_entry(e) for e in form_a[1]])
+    b = Metagraph(form_b[0], [form_edge_entry(e) for e in form_b[1]])
     # enumerate connected induced subgraphs of the smaller pattern
     small, large = (a, b) if (a.size + a.num_edges) <= (b.size + b.num_edges) else (b, a)
     best = (0, 0)

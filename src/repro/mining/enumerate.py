@@ -1,13 +1,20 @@
 """Schema-driven enumeration of connected typed patterns.
 
 The pattern-growth core shared by the miner: starting from single-edge
-patterns over the allowed type pairs, grow by either attaching a new
-node (allowed type pair to an existing node) or closing an edge between
-two existing non-adjacent nodes.  Canonical forms deduplicate the search
-so each isomorphism class is visited once.
+patterns over the allowed edge rules, grow by either attaching a new
+node (allowed rule to an existing node) or closing an edge between two
+existing non-adjacent nodes.  Canonical forms deduplicate the search so
+each isomorphism class is visited once.
+
+An *edge rule* is ``(type_a, type_b, EdgeKind)`` — the schema-level
+counterpart of a kinded edge.  Plain 2-tuples ``(type_a, type_b)`` are
+accepted everywhere and mean an unlabeled undirected rule, so existing
+callers (and plain graphs) see the exact legacy pattern space.  Directed
+rules are orientation-significant: ``("a", "b", EdgeKind("x", True))``
+licenses only ``a --x--> b`` edges.
 
 Every connected pattern with at most ``max_nodes`` nodes (and, when
-bounded, ``max_edges`` edges) over the given type pairs is generated:
+bounded, ``max_edges`` edges) over the given rules is generated:
 removing a leaf node or a cycle edge from any such pattern yields a
 smaller valid pattern, so induction over the growth operations covers
 the whole space.
@@ -17,28 +24,62 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
-from repro.metagraph.canonical import CanonicalForm, canonical_form, canonicalize
+from repro.graph.typed_graph import PLAIN, EdgeKind
+from repro.metagraph.canonical import (
+    CanonicalForm,
+    canonical_form,
+    canonicalize,
+    form_edge_entry,
+)
 from repro.metagraph.metagraph import Metagraph
 
 TypePair = tuple[str, str]
+EdgeRule = tuple[str, str, EdgeKind]
+# what callers may pass: bare type pairs (plain rules) or full rules
+RuleLike = TypePair | EdgeRule
 
 
-def _allowed(pairs: frozenset[TypePair], type_a: str, type_b: str) -> bool:
-    pair = (type_a, type_b) if type_a <= type_b else (type_b, type_a)
-    return pair in pairs
+def _norm_rule(entry: RuleLike) -> EdgeRule:
+    """Normalize a rule: undirected rules store sorted endpoint types."""
+    if len(entry) == 2:
+        a, b = entry
+        kind = PLAIN
+    else:
+        a, b, kind = entry
+    if kind.directed or a <= b:
+        return (a, b, kind)
+    return (b, a, kind)
 
 
-def single_edge_patterns(type_pairs: Iterable[TypePair]) -> list[Metagraph]:
-    """One two-node pattern per allowed type pair (canonical labelling)."""
+def _norm_rules(rules: Iterable[RuleLike]) -> frozenset[EdgeRule]:
+    return frozenset(_norm_rule(r) for r in rules)
+
+
+def _closing_entries(
+    rules: frozenset[EdgeRule], u: int, type_u: str, v: int, type_v: str
+) -> Iterator[tuple[int, int, EdgeKind]]:
+    """Kinded edge entries the rules allow between two existing nodes."""
+    for a, b, kind in sorted(rules):
+        if kind.directed:
+            if (type_u, type_v) == (a, b):
+                yield (u, v, kind)
+            if (type_v, type_u) == (a, b):
+                yield (v, u, kind)
+        elif (a, b) == ((type_u, type_v) if type_u <= type_v else (type_v, type_u)):
+            yield (u, v, kind)
+
+
+def single_edge_patterns(rules: Iterable[RuleLike]) -> list[Metagraph]:
+    """One two-node pattern per allowed edge rule (canonical labelling)."""
     patterns = []
-    for a, b in sorted(set(type_pairs)):
-        patterns.append(canonicalize(Metagraph([a, b], [(0, 1)])))
+    for a, b, kind in sorted(_norm_rules(rules)):
+        patterns.append(canonicalize(Metagraph([a, b], [(0, 1, kind)])))
     return patterns
 
 
 def extensions(
     pattern: Metagraph,
-    type_pairs: frozenset[TypePair],
+    rules: Iterable[RuleLike],
     types: Iterable[str],
     max_nodes: int,
     max_edges: int | None,
@@ -47,50 +88,60 @@ def extensions(
 
     Either a new node of any type attached to one existing node, or a
     new edge between two existing non-adjacent nodes — both restricted
-    to allowed type pairs.
+    to allowed edge rules (with the rule's kind and orientation).
     """
+    normed = _norm_rules(rules)
+    type_set = set(types)
     n = pattern.size
+    base = list(pattern.edges_with_kinds())
     if max_edges is None or pattern.num_edges < max_edges:
         # close an edge between existing nodes
         for u in range(n):
             for v in range(u + 1, n):
                 if pattern.has_edge(u, v):
                     continue
-                if _allowed(type_pairs, pattern.node_type(u), pattern.node_type(v)):
-                    yield Metagraph(
-                        pattern.types, set(pattern.edges) | {(u, v)}
-                    )
+                for entry in _closing_entries(
+                    normed, u, pattern.node_type(u), v, pattern.node_type(v)
+                ):
+                    yield Metagraph(pattern.types, base + [entry])
         # attach a new node
         if n < max_nodes:
-            for new_type in sorted(set(types)):
+            for a, b, kind in sorted(normed):
                 for u in range(n):
-                    if _allowed(type_pairs, pattern.node_type(u), new_type):
+                    type_u = pattern.node_type(u)
+                    if type_u == a and b in type_set:
                         yield Metagraph(
-                            list(pattern.types) + [new_type],
-                            set(pattern.edges) | {(u, n)},
+                            list(pattern.types) + [b], base + [(u, n, kind)]
+                        )
+                    if kind.directed:
+                        if type_u == b and a in type_set:
+                            yield Metagraph(
+                                list(pattern.types) + [a], base + [(n, u, kind)]
+                            )
+                    elif type_u == b and a != b and a in type_set:
+                        yield Metagraph(
+                            list(pattern.types) + [a], base + [(u, n, kind)]
                         )
 
 
 def enumerate_patterns(
-    type_pairs: Iterable[TypePair],
+    rules: Iterable[RuleLike],
     max_nodes: int = 5,
     max_edges: int | None = None,
 ) -> list[Metagraph]:
-    """All connected typed patterns over the allowed type pairs.
+    """All connected typed patterns over the allowed edge rules.
 
     Patterns are returned canonically labelled, deduplicated up to
     isomorphism, sorted by (size, edges, canonical form) for
     determinism.  Single-node patterns are not produced (a metagraph
     describing proximity needs at least one edge).
     """
-    pairs = frozenset(
-        (a, b) if a <= b else (b, a) for a, b in type_pairs
-    )
-    types = sorted({t for pair in pairs for t in pair})
+    normed = _norm_rules(rules)
+    types = sorted({t for a, b, _ in normed for t in (a, b)})
     seen: set[CanonicalForm] = set()
     result: list[Metagraph] = []
     frontier: list[Metagraph] = []
-    for pattern in single_edge_patterns(pairs):
+    for pattern in single_edge_patterns(normed):
         form = canonical_form(pattern)
         if form not in seen:
             seen.add(form)
@@ -99,12 +150,14 @@ def enumerate_patterns(
     while frontier:
         next_frontier: list[Metagraph] = []
         for pattern in frontier:
-            for extension in extensions(pattern, pairs, types, max_nodes, max_edges):
+            for extension in extensions(pattern, normed, types, max_nodes, max_edges):
                 form = canonical_form(extension)
                 if form in seen:
                     continue
                 seen.add(form)
-                canonical = Metagraph(form[0], form[1])
+                canonical = Metagraph(
+                    form[0], [form_edge_entry(e) for e in form[1]]
+                )
                 result.append(canonical)
                 next_frontier.append(canonical)
         frontier = next_frontier

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.graph.typed_graph import TypedGraph
 from repro.matching.backtracking import backtrack_embeddings
 from repro.matching.ordering import GraphCardinalities, estimated_cost_order
-from repro.metagraph.canonical import CanonicalForm, canonical_form
+from repro.metagraph.canonical import CanonicalForm, canonical_form, form_edge_entry
 from repro.metagraph.metagraph import Metagraph
 from repro.mining.enumerate import extensions, single_edge_patterns
 
@@ -126,7 +126,7 @@ class GramiMiner:
         result = MiningResult()
         if graph.num_edges == 0:
             return result
-        type_pairs = graph.observed_type_pairs()
+        edge_rules = graph.observed_edge_rules()
         types = sorted(graph.types)
         stats = GraphCardinalities(graph)
         seen: set[CanonicalForm] = set()
@@ -149,18 +149,18 @@ class GramiMiner:
                 return
             if estimate.budget_hit:
                 result.budget_hits += 1
-            canonical = Metagraph(form[0], form[1])
+            canonical = Metagraph(form[0], [form_edge_entry(e) for e in form[1]])
             result.patterns.append(canonical)
             result.supports[form] = estimate.support
             frontier.append(canonical)
 
-        for pattern in single_edge_patterns(type_pairs):
+        for pattern in single_edge_patterns(edge_rules):
             consider(pattern)
         while frontier:
             current, frontier = frontier, []
             for pattern in current:
                 for extension in extensions(
-                    pattern, type_pairs, types, cfg.max_nodes, cfg.max_edges
+                    pattern, edge_rules, types, cfg.max_nodes, cfg.max_edges
                 ):
                     consider(extension)
         result.patterns.sort(

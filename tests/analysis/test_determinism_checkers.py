@@ -113,6 +113,22 @@ def test_out_of_scope_modules_not_checked(tree):
     assert tree.lint(["unordered-iter"]).clean
 
 
+def test_metagraph_package_is_in_scope(tree):
+    # kind-aware canonicalisation must not depend on set order, so the
+    # checker's scope covers repro.metagraph too
+    tree.write(
+        "metagraph/forms.py",
+        """\
+        def collect(edges):
+            out = []
+            for entry in set(edges):
+                out.append(entry)
+            return out
+        """,
+    )
+    assert "unordered-iter" in tree.rules_fired(["unordered-iter"])
+
+
 def test_nested_function_set_names_stay_scoped(tree):
     # outer's `items` is a list; inner's `items` is a set — the walk
     # must not leak one scope's inference into the other

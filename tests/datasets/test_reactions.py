@@ -1,0 +1,101 @@
+"""The reaction-network dataset: schema, determinism, minability."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.reactions import (
+    CATALYZES,
+    CONSUMES,
+    PRODUCES,
+    REACTIONS_SCALES,
+    REACTIONS_SCHEMA,
+    generate_reactions,
+)
+from repro.graph.typed_graph import PLAIN
+
+
+class TestGeneration:
+    def test_scales_and_determinism(self):
+        for scale in REACTIONS_SCALES:
+            a = generate_reactions(scale=scale)
+            b = generate_reactions(scale=scale)
+            assert a.graph == b.graph, scale
+            assert a.labels == b.labels, scale
+
+    def test_graph_is_kinded_and_schema_valid(self):
+        ds = load_dataset("reactions", scale="tiny")
+        assert ds.graph.has_kinds
+        assert ds.anchor_type == "mol"
+        REACTIONS_SCHEMA.validate_graph(ds.graph)
+        assert REACTIONS_SCHEMA.edge_kinds
+        rules = ds.graph.observed_edge_rules()
+        assert ("mol", "rxn", CONSUMES) in rules
+        assert ("rxn", "mol", PRODUCES) in rules
+        assert all(kind != PLAIN for _, _, kind in rules)
+
+    def test_every_reaction_has_two_substrates(self):
+        """Two substrates keep the symmetric in-pattern past the filters."""
+        ds = load_dataset("reactions", scale="tiny")
+        g = ds.graph
+        for rxn in g.nodes_of_type("rxn"):
+            substrates = [
+                m
+                for m in g.neighbors_of_type(rxn, "mol")
+                if g.edge_kind(rxn, m) == CONSUMES
+            ]
+            assert len(substrates) >= 2, rxn
+
+    def test_labels_follow_shared_reactions(self):
+        ds = load_dataset("reactions", scale="tiny")
+        g = ds.graph
+        for cls, kind, flip in (
+            ("co-substrate", CONSUMES, False),
+            ("co-product", PRODUCES, False),
+        ):
+            labels = ds.class_labels(cls)
+            assert labels, cls
+            for q, members in labels.items():
+                for m in members:
+                    shared = {
+                        r
+                        for r in g.neighbors_of_type(q, "rxn")
+                        if g.edge_kind(q, r) == kind
+                    } & {
+                        r
+                        for r in g.neighbors_of_type(m, "rxn")
+                        if g.edge_kind(m, r) == kind
+                    }
+                    assert shared, (cls, q, m)
+
+    def test_catalysts_never_consumed_by_their_reaction(self):
+        ds = load_dataset("reactions", scale="small")
+        g = ds.graph
+        for u, v, kind in g.edges_with_kinds():
+            if kind == CATALYZES:
+                # one pair, one kind: the catalyst edge proves the
+                # molecule is neither substrate nor product there
+                assert g.edge_kind(u, v) == CATALYZES
+
+
+class TestMinability:
+    def test_symmetric_kind_patterns_survive_paper_filters(self):
+        from repro.mining import MinerConfig, mine_catalog
+
+        ds = load_dataset("reactions", scale="tiny")
+        catalog = mine_catalog(
+            ds.graph,
+            MinerConfig(max_nodes=4, min_support=2),
+            anchor_type=ds.anchor_type,
+        )
+        assert len(catalog) > 0
+        kinds_seen = set()
+        for mg in catalog:
+            assert mg.has_kinds
+            kinds_seen |= {kind for _, _, kind in mg.edges_with_kinds()}
+        # both semantic classes have a witnessing metagraph family
+        assert CONSUMES in kinds_seen
+        assert PRODUCES in kinds_seen
+
+    def test_registered_in_load_dataset(self):
+        with pytest.raises(KeyError, match="reactions"):
+            load_dataset("nope")

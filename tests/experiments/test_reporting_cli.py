@@ -235,6 +235,34 @@ class TestIndexUpdate:
         assert "replayed 4 logged edit(s)" in out
         assert main(["index", "info", str(snapshot)]) == 0
 
+    def test_toggle_edges_preserves_edge_kinds(self, tmp_path, capsys):
+        # a toggled kinded edge must come back with its label and
+        # orientation, so the retired instances all return (+N == -N)
+        import re
+
+        from repro.cli import main
+
+        target = tmp_path / "reactions-snapshot"
+        assert (
+            main(
+                [
+                    "index", "build", "--dataset", "reactions",
+                    "--min-support", "2", "--out", str(target),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["index", "update", str(target), "--toggle-edges", "3"]) == 0
+        )
+        out = capsys.readouterr().out
+        match = re.search(r"-(\d+)/\+(\d+) instances", out)
+        assert match is not None, out
+        retired, restored = match.groups()
+        assert retired == restored and int(retired) > 0
+        assert main(["index", "info", str(target)]) == 0
+
     def test_edits_file(self, snapshot, tmp_path, capsys):
         import json
 

@@ -12,6 +12,7 @@ from repro.index.persist import (
     CATALOG_FILE,
     FORMAT_VERSION,
     MANIFEST_FILE,
+    SUPPORTED_FORMAT_VERSIONS,
     graph_fingerprint,
     load_index,
     save_index,
@@ -143,7 +144,7 @@ class TestRejection:
     def test_version_mismatch(self, snapshot_dir):
         manifest_path = snapshot_dir / MANIFEST_FILE
         manifest = json.loads(manifest_path.read_text())
-        manifest["format_version"] = FORMAT_VERSION + 1
+        manifest["format_version"] = max(SUPPORTED_FORMAT_VERSIONS) + 1
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(SnapshotError, match="format version"):
             load_index(snapshot_dir)

@@ -1,0 +1,137 @@
+"""Kind-aware canonical forms, symmetry, and catalog round-trips.
+
+Before the edge-kind axis, two patterns over the same type multiset and
+edge *positions* collapsed into one canonical class even when their
+edge roles differed — a consume star and a produce star looked
+identical to the catalog.  These tests pin the refactor's contract:
+kinds participate in canonicalisation, isomorphism, automorphisms, and
+catalog identity, while plain patterns keep their historical 2-tuple
+canonical forms byte-for-byte.
+"""
+
+from repro.graph.typed_graph import PLAIN, EdgeKind
+from repro.metagraph.canonical import (
+    are_isomorphic,
+    canonical_form,
+    canonicalize,
+    form_edge_entry,
+)
+from repro.metagraph.catalog import MetagraphCatalog
+from repro.metagraph.metagraph import Metagraph
+from repro.metagraph.symmetry import (
+    automorphisms,
+    is_symmetric,
+    symmetric_pairs,
+)
+
+IN = EdgeKind("in", True)
+OUT = EdgeKind("out", True)
+TAG = EdgeKind("tag", False)
+
+
+class TestCanonicalForms:
+    def test_plain_form_keeps_two_tuples(self):
+        m = Metagraph(["user", "school"], [(0, 1)])
+        _, edges = canonical_form(m)
+        assert edges == ((0, 1),)
+
+    def test_kinded_form_uses_four_tuples(self):
+        m = Metagraph(["mol", "rxn"], [(0, 1, IN)])
+        _, edges = canonical_form(m)
+        assert edges == ((0, 1, "in", 1),)
+        assert form_edge_entry(edges[0]) == (0, 1, IN)
+
+    def test_distinct_roles_no_longer_collide(self):
+        consume = Metagraph(["mol", "mol", "rxn"], [(0, 2, IN), (1, 2, IN)])
+        produce = Metagraph(["mol", "mol", "rxn"], [(2, 0, OUT), (2, 1, OUT)])
+        plain = Metagraph(["mol", "mol", "rxn"], [(0, 2), (1, 2)])
+        forms = {canonical_form(m) for m in (consume, produce, plain)}
+        assert len(forms) == 3
+        assert not are_isomorphic(consume, produce)
+        assert not are_isomorphic(consume, plain)
+
+    def test_orientation_is_canonical_not_positional(self):
+        # the same directed edge written from either endpoint
+        a = Metagraph(["mol", "rxn"], [(0, 1, IN)])
+        b = Metagraph(["rxn", "mol"], [(1, 0, IN)])
+        assert canonical_form(a) == canonical_form(b)
+        assert are_isomorphic(a, b)
+        # but the *reversed* edge is a different pattern
+        c = Metagraph(["mol", "rxn"], [(1, 0, IN)])
+        assert canonical_form(a) != canonical_form(c)
+
+    def test_labels_distinguish_undirected_edges(self):
+        a = Metagraph(["user", "user"], [(0, 1, TAG)])
+        b = Metagraph(["user", "user"], [(0, 1, EdgeKind("other", False))])
+        assert canonical_form(a) != canonical_form(b)
+
+    def test_canonicalize_round_trips_kinds(self):
+        m = Metagraph(
+            ["rxn", "mol", "mol"], [(1, 0, IN), (0, 2, OUT), (1, 2, TAG)]
+        )
+        canon = canonicalize(m)
+        assert are_isomorphic(m, canon)
+        assert sorted(
+            kind for _, _, kind in canon.edges_with_kinds()
+        ) == sorted(kind for _, _, kind in m.edges_with_kinds())
+
+    def test_signature_flips_under_argument_swap(self):
+        m = Metagraph(["mol", "rxn"], [(0, 1, IN)])
+        assert m.edge_signature(0, 1) == ("in", 1)
+        assert m.edge_signature(1, 0) == ("in", -1)
+        assert m.edge_kind(0, 1) == IN
+        assert m.edge_kind(1, 0) == IN
+
+
+class TestKindedSymmetry:
+    def test_automorphisms_respect_kinds(self):
+        # both mols consume: swapping them is an automorphism
+        both_in = Metagraph(["mol", "mol", "rxn"], [(0, 2, IN), (1, 2, IN)])
+        assert len(automorphisms(both_in)) == 2
+        assert is_symmetric(both_in)
+        assert (0, 1) in symmetric_pairs(both_in)
+        # one consumes, one is produced: the swap dies
+        mixed = Metagraph(["mol", "mol", "rxn"], [(0, 2, IN), (2, 1, OUT)])
+        assert len(automorphisms(mixed)) == 1
+        assert not is_symmetric(mixed)
+
+    def test_plain_symmetry_unchanged(self):
+        m = Metagraph(["user", "user", "school"], [(0, 2), (1, 2)])
+        assert is_symmetric(m)
+        assert (0, 1) in symmetric_pairs(m)
+
+
+class TestCatalog:
+    def test_catalog_separates_kinded_classes(self):
+        catalog = MetagraphCatalog(anchor_type="mol")
+        consume = Metagraph(["mol", "mol", "rxn"], [(0, 2, IN), (1, 2, IN)])
+        produce = Metagraph(["mol", "mol", "rxn"], [(2, 0, OUT), (2, 1, OUT)])
+        assert catalog.add_if_new(consume) == (0, True)
+        assert catalog.add_if_new(produce) == (1, True)
+        assert catalog.add_if_new(consume.relabeled([1, 0, 2])) == (0, False)
+        assert len(catalog) == 2
+
+    def test_catalog_json_round_trips_kinds(self):
+        catalog = MetagraphCatalog(anchor_type="mol")
+        catalog.add_if_new(
+            Metagraph(["mol", "mol", "rxn"], [(0, 2, IN), (1, 2, IN)])
+        )
+        catalog.add_if_new(
+            Metagraph(["mol", "rxn"], [(0, 1, TAG)])
+        )
+        restored = MetagraphCatalog.from_json(catalog.to_json())
+        assert len(restored) == len(catalog)
+        for mg_id in catalog.ids():
+            assert canonical_form(restored[mg_id]) == canonical_form(
+                catalog[mg_id]
+            )
+            assert restored[mg_id].has_kinds == catalog[mg_id].has_kinds
+
+    def test_plain_catalog_json_has_no_kind_fields(self):
+        catalog = MetagraphCatalog(anchor_type="user")
+        catalog.add_if_new(Metagraph(["user", "school"], [(0, 1)]))
+        text = catalog.to_json()
+        assert "label" not in text and "directed" not in text
+        restored = MetagraphCatalog.from_json(text)
+        assert not restored[0].has_kinds
+        assert restored[0].edge_kind(0, 1) == PLAIN

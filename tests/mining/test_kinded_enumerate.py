@@ -1,0 +1,106 @@
+"""Pattern enumeration over kinded edge rules.
+
+The miner grows patterns over the graph's observed ``(type, type,
+kind)`` rules.  Directed rules are orientation-significant; undirected
+and plain rules behave exactly as the historical type-pair grammar —
+pinned here by comparing against 2-tuple rule enumeration.
+"""
+
+from repro.graph.typed_graph import EdgeKind
+from repro.metagraph.canonical import canonical_form
+from repro.mining.enumerate import enumerate_patterns
+
+IN = EdgeKind("in", True)
+OUT = EdgeKind("out", True)
+CITES = EdgeKind("cites", True)
+
+
+def forms(patterns):
+    return {canonical_form(p) for p in patterns}
+
+
+class TestPlainCompatibility:
+    def test_two_tuple_rules_match_plain_three_tuples(self):
+        pairs = [("a", "b"), ("b", "c")]
+        from repro.graph.typed_graph import PLAIN
+
+        kinded = [(x, y, PLAIN) for x, y in pairs]
+        for max_nodes in (2, 3, 4):
+            assert forms(
+                enumerate_patterns(pairs, max_nodes=max_nodes)
+            ) == forms(enumerate_patterns(kinded, max_nodes=max_nodes))
+
+    def test_plain_chain_space(self):
+        patterns = enumerate_patterns([("a", "b"), ("b", "c")], max_nodes=3)
+        # a-b, b-c, a-b-a, b-a-b(x), ... the historical 2-rule space
+        assert len(patterns) == len(forms(patterns))
+        assert all(not p.has_kinds for p in patterns)
+
+
+class TestDirectedRules:
+    def test_orientation_is_respected(self):
+        # only mol -> rxn consumption exists: no pattern may contain a
+        # reversed 'in' edge
+        patterns = enumerate_patterns([("mol", "rxn", IN)], max_nodes=3)
+        assert patterns
+        for p in patterns:
+            for u, v, kind in p.edges_with_kinds():
+                assert kind == IN
+                assert p.node_type(u) == "mol"
+                assert p.node_type(v) == "rxn"
+
+    def test_in_and_out_rules_do_not_mix_roles(self):
+        patterns = enumerate_patterns(
+            [("mol", "rxn", IN), ("rxn", "mol", OUT)], max_nodes=3
+        )
+        star_in = {
+            canonical_form(p)
+            for p in patterns
+            if p.size == 3
+            and all(kind == IN for _, _, kind in p.edges_with_kinds())
+        }
+        star_out = {
+            canonical_form(p)
+            for p in patterns
+            if p.size == 3
+            and all(kind == OUT for _, _, kind in p.edges_with_kinds())
+        }
+        mixed = {
+            canonical_form(p)
+            for p in patterns
+            if p.size == 3
+            and len({kind for _, _, kind in p.edges_with_kinds()}) == 2
+        }
+        # consume-star, produce-star and the conversion path all exist
+        # and are distinct canonical classes
+        assert star_in and star_out and mixed
+        assert not (star_in & star_out)
+        assert not (star_in & mixed)
+
+    def test_same_type_directed_rule_distinguishes_star_shapes(self):
+        # paper -cites-> paper: at 3 nodes the in-star (two papers cite
+        # one) and the out-star (one paper cites two) are different
+        # patterns, as are the path and the two triangle orientations
+        patterns = enumerate_patterns([("paper", "paper", CITES)], max_nodes=3)
+        two_edge = [p for p in patterns if p.size == 3 and p.num_edges == 2]
+        # in-star (both cite one), out-star (one cites both), and the
+        # citation path are three distinct canonical classes
+        assert len(two_edge) == 3
+        profiles = set()
+        for p in two_edge:
+            indeg, outdeg = [0, 0, 0], [0, 0, 0]
+            for u, v, _ in p.edges_with_kinds():
+                outdeg[u] += 1
+                indeg[v] += 1
+            profiles.add((max(indeg), max(outdeg)))
+        assert profiles == {(2, 1), (1, 2), (1, 1)}
+        triangles = [p for p in patterns if p.size == 3 and p.num_edges == 3]
+        assert len(triangles) == 2  # cyclic and transitive orientations
+
+    def test_determinism(self):
+        rules = [("mol", "rxn", IN), ("rxn", "mol", OUT)]
+        a = enumerate_patterns(rules, max_nodes=4)
+        b = enumerate_patterns(rules, max_nodes=4)
+        assert [canonical_form(p) for p in a] == [
+            canonical_form(p) for p in b
+        ]

@@ -20,6 +20,7 @@ def test_examples_directory_complete():
         "citation_contexts.py",
         "engine_shootout.py",
         "search_service.py",
+        "reaction_networks.py",
     } <= set(EXAMPLES)
 
 
